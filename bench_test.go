@@ -1,0 +1,195 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper (regenerating the experiment at Quick scale and reporting the
+// headline metric), plus simulator micro-benchmarks.
+//
+// Run with: go test -bench=. -benchmem
+package sfence_test
+
+import (
+	"testing"
+
+	"sfence"
+)
+
+// BenchmarkTable3Defaults pins the Table III defaults (configuration
+// construction is trivially cheap; the benchmark exists so the table has a
+// regeneration entry point alongside the figures).
+func BenchmarkTable3Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := sfence.TableIII(sfence.DefaultConfig())
+		if len(rows) != 7 {
+			b.Fatalf("Table III has %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable4Registry regenerates the benchmark-description table.
+func BenchmarkTable4Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(sfence.TableIV()) != 8 {
+			b.Fatal("Table IV incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates the workload-impact experiment and reports
+// the mean peak speedup across the four lock-free algorithms.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := sfence.Figure12(sfence.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, s := range series {
+			peak, _ := s.Peak()
+			sum += peak
+		}
+		b.ReportMetric(sum/float64(len(series)), "mean-peak-speedup")
+	}
+}
+
+// BenchmarkFigure13 regenerates the full-application experiment and
+// reports the mean S-over-T speedup.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		groups, err := sfence.Figure13(sfence.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, g := range groups {
+			sum += 1 / g.Bars[1].Total() // S normalized against T=1
+		}
+		b.ReportMetric(sum/float64(len(groups)), "mean-S-speedup")
+	}
+}
+
+// BenchmarkFigure14 regenerates the class-vs-set-scope comparison and
+// reports the mean set-scope time normalized to class scope.
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		groups, err := sfence.Figure14(sfence.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, g := range groups {
+			sum += g.Bars[1].Total()
+		}
+		b.ReportMetric(sum/float64(len(groups)), "set-vs-class-time")
+	}
+}
+
+// BenchmarkFigure15 regenerates the memory-latency sweep and reports the
+// S-Fence speedup at 500-cycle latency (where the paper's gains are
+// largest for the set-scope applications).
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		groups, err := sfence.Figure15(sfence.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var speedup float64
+		var n int
+		for _, g := range groups {
+			var t500, s500 float64
+			for _, bar := range g.Bars {
+				switch bar.Label {
+				case "500T":
+					t500 = bar.Total()
+				case "500S":
+					s500 = bar.Total()
+				}
+			}
+			if s500 > 0 {
+				speedup += t500 / s500
+				n++
+			}
+		}
+		b.ReportMetric(speedup/float64(n), "speedup@500cy")
+	}
+}
+
+// BenchmarkFigure16 regenerates the ROB-size sweep and reports the
+// S-Fence speedup with a 256-entry ROB.
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		groups, err := sfence.Figure16(sfence.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var speedup float64
+		var n int
+		for _, g := range groups {
+			var t, s float64
+			for _, bar := range g.Bars {
+				switch bar.Label {
+				case "256T":
+					t = bar.Total()
+				case "256S":
+					s = bar.Total()
+				}
+			}
+			if s > 0 {
+				speedup += t / s
+				n++
+			}
+		}
+		b.ReportMetric(speedup/float64(n), "speedup@rob256")
+	}
+}
+
+// BenchmarkHardwareCost evaluates the Section VI-E cost model.
+func BenchmarkHardwareCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := sfence.HardwareCost(sfence.DefaultConfig().Core)
+		if !rep.PaperClaimOK {
+			b.Fatalf("cost %.1f bytes exceeds the paper's 80-byte claim", rep.TotalBytes)
+		}
+		b.ReportMetric(rep.TotalBytes, "bytes/core")
+	}
+}
+
+// BenchmarkAblationFSBEntries regenerates the FSB-size ablation.
+func BenchmarkAblationFSBEntries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sfence.AblationFSBEntries(sfence.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFIFOStoreBuffer regenerates the TSO-vs-RMO ablation.
+func BenchmarkAblationFIFOStoreBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sfence.AblationFIFOStoreBuffer(sfence.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// cycles per second on the wsq benchmark.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sfence.RunBenchmark("wsq", sfence.BenchmarkOptions{
+			Mode: sfence.Scoped, Ops: 60, Workload: 2, Threads: 4,
+		}, sfence.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkKernelBuild measures program-assembly cost (no simulation).
+func BenchmarkKernelBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sfence.BuildBenchmark("harris", sfence.BenchmarkOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command sfence-bench regenerates every table and figure of the paper's
+// evaluation section (and the repository's extra ablations) on the
+// simulated machine.
+//
+// Examples:
+//
+//	sfence-bench -all            # everything, full scale
+//	sfence-bench -fig12 -quick   # just Figure 12, reduced sizing
+//	sfence-bench -table3 -table4 -hwcost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfence"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		fig12     = flag.Bool("fig12", false, "Figure 12: impact of workload")
+		fig13     = flag.Bool("fig13", false, "Figure 13: full applications (T/S/T+/S+)")
+		fig14     = flag.Bool("fig14", false, "Figure 14: class vs set scope")
+		fig15     = flag.Bool("fig15", false, "Figure 15: memory latency sweep")
+		fig16     = flag.Bool("fig16", false, "Figure 16: ROB size sweep")
+		table3    = flag.Bool("table3", false, "Table III: architectural parameters")
+		table4    = flag.Bool("table4", false, "Table IV: benchmark descriptions")
+		hwcost    = flag.Bool("hwcost", false, "Section VI-E: hardware cost")
+		ablations = flag.Bool("ablations", false, "design-choice ablations (beyond the paper)")
+		quick     = flag.Bool("quick", false, "reduced workload sizes")
+	)
+	flag.Parse()
+
+	sc := sfence.Full
+	if *quick {
+		sc = sfence.Quick
+	}
+	any := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table3 {
+		any = true
+		fmt.Println(sfence.RenderTableIII(sfence.DefaultConfig()))
+	}
+	if *all || *table4 {
+		any = true
+		fmt.Println(sfence.RenderTableIV())
+	}
+	if *all || *hwcost {
+		any = true
+		fmt.Println(sfence.RenderHardwareCost(sfence.HardwareCost(sfence.DefaultConfig().Core)))
+	}
+	if *all || *fig12 {
+		any = true
+		series, err := sfence.Figure12(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sfence.RenderFigure12(series))
+	}
+	if *all || *fig13 {
+		any = true
+		groups, err := sfence.Figure13(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sfence.RenderGroups("Figure 13 — Normalized execution time (T, S, T+, S+)", groups))
+	}
+	if *all || *fig14 {
+		any = true
+		groups, err := sfence.Figure14(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sfence.RenderGroups("Figure 14 — Class scope vs. set scope", groups))
+	}
+	if *all || *fig15 {
+		any = true
+		groups, err := sfence.Figure15(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sfence.RenderGroups("Figure 15 — Varying memory access latency (200/300/500 cycles)", groups))
+	}
+	if *all || *fig16 {
+		any = true
+		groups, err := sfence.Figure16(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sfence.RenderGroups("Figure 16 — Varying ROB size (64/128/256 entries)", groups))
+	}
+	if *all || *ablations {
+		any = true
+		type abl struct {
+			title string
+			fn    func(sfence.Scale) ([]sfence.AblationRow, error)
+		}
+		for _, a := range []abl{
+			{"Ablation — FSB entry count", sfence.AblationFSBEntries},
+			{"Ablation — FSS depth", sfence.AblationFSSDepth},
+			{"Ablation — store buffer size", sfence.AblationStoreBuffer},
+			{"Ablation — FIFO (TSO-like) vs non-FIFO (RMO) store buffer", sfence.AblationFIFOStoreBuffer},
+			{"Ablation — store-store put fence (Section VII combination); 0=full, 1=SS", sfence.AblationFinerFences},
+			{"Ablation — nested-scope pressure (FSB sharing / FSS overflow)", sfence.AblationNestedScopes},
+			{"Ablation — FSS recovery: snapshot (0) vs paper shadow (1)", sfence.AblationRecovery},
+		} {
+			rows, err := a.fn(sc)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(sfence.RenderAblation(a.title, rows))
+		}
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

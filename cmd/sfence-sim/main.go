@@ -1,0 +1,104 @@
+// Command sfence-sim runs a single benchmark on the simulated machine and
+// prints its result and statistics.
+//
+// Examples:
+//
+//	sfence-sim -bench wsq -mode scoped -workload 3
+//	sfence-sim -bench pst -mode traditional -ops 400 -threads 8
+//	sfence-sim -bench barnes -mode scoped -spec -memlat 500
+//	sfence-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfence"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "wsq", "benchmark name (see -list)")
+		mode     = flag.String("mode", "scoped", "fence mode: traditional | scoped")
+		scope    = flag.String("scope", "", "override scope for scoped mode: class | set")
+		threads  = flag.Int("threads", 0, "thread count (0 = benchmark default)")
+		ops      = flag.Int("ops", 0, "operation count (0 = benchmark default)")
+		workload = flag.Int("workload", 0, "workload units between operations")
+		seed     = flag.Int64("seed", 1, "deterministic input seed")
+		spec     = flag.Bool("spec", false, "enable in-window speculation (T+/S+)")
+		memlat   = flag.Int("memlat", 0, "memory latency override in cycles")
+		robsize  = flag.Int("rob", 0, "ROB size override")
+		fifo     = flag.Bool("fifosb", false, "FIFO (TSO-like) store buffer")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		traceCyc = flag.Int64("trace", 0, "write a pipeline trace of the first N cycles to stderr")
+		profile  = flag.Bool("profile", false, "print the per-fence stall profile")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(sfence.RenderTableIV())
+		return
+	}
+
+	opts := sfence.BenchmarkOptions{
+		Threads: *threads, Ops: *ops, Workload: *workload, Seed: *seed,
+	}
+	switch *mode {
+	case "traditional":
+		opts.Mode = sfence.Traditional
+	case "scoped":
+		opts.Mode = sfence.Scoped
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *scope {
+	case "":
+	case "class":
+		opts.Scope = sfence.ForceClass
+	case "set":
+		opts.Scope = sfence.ForceSet
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scope %q\n", *scope)
+		os.Exit(2)
+	}
+
+	cfg := sfence.DefaultConfig()
+	cfg.Core.InWindowSpec = *spec
+	cfg.Core.FIFOStoreBuffer = *fifo
+	if *memlat > 0 {
+		cfg.Mem.MemLatency = *memlat
+	}
+	if *robsize > 0 {
+		cfg.Core.ROBSize = *robsize
+	}
+
+	var res sfence.BenchmarkResult
+	var err error
+	if *traceCyc > 0 {
+		res, err = sfence.RunBenchmarkTraced(*bench, opts, cfg, sfence.NewTextTracer(os.Stderr, *traceCyc))
+	} else {
+		res, err = sfence.RunBenchmark(*bench, opts, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark:          %s (%s fences)\n", *bench, *mode)
+	fmt.Printf("cycles:             %d\n", res.Cycles)
+	fmt.Printf("committed insts:    %d\n", res.Stats.Committed)
+	fmt.Printf("committed fences:   %d\n", res.Stats.CommittedFences)
+	fmt.Printf("fence stall cycles: %d (%.1f%% of core time)\n", res.FenceStall, 100*res.FenceStallFraction())
+	fmt.Printf("mispredictions:     %d\n", res.Stats.Mispredicts)
+	fmt.Printf("L1 misses:          %d\n", res.Stats.L1Misses)
+	fmt.Printf("L2 misses:          %d\n", res.Stats.L2Misses)
+	fmt.Println("verification:       PASSED")
+	if *profile {
+		fmt.Println("\nFence profile (stalls by static fence site):")
+		fmt.Printf("  %-6s %-20s %10s %12s %12s\n", "pc", "fence", "execs", "stall-cyc", "idle-cyc")
+		for _, s := range res.Profile {
+			fmt.Printf("  %-6d %-20s %10d %12d %12d\n", s.PC, s.Scope, s.Executions, s.StallCycles, s.IdleCycles)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: assemble a tiny two-thread program that uses a class-scoped
+// fence, run it on the simulated 8-core machine, and read the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sfence"
+)
+
+func main() {
+	b := sfence.NewBuilder()
+
+	// Thread 0: a "producer" method of a message class. The stores to the
+	// message fields and the mailbox flag are inside the class scope
+	// (cid 1); the private scratch store before them is not, so the
+	// class-scoped fence does not wait for it.
+	b.Entry("producer")
+	b.MovI(sfence.R1, 1<<16) // private scratch (cold line: slow store)
+	b.MovI(sfence.R2, 4096)  // message base
+	b.MovI(sfence.R3, 42)    // payload
+	b.MovI(sfence.R4, 1)     // flag value
+	b.Store(sfence.R1, 0, sfence.R3)
+	b.FsStart(1)
+	b.Store(sfence.R2, 0, sfence.R3)  // message.payload = 42
+	b.Fence(sfence.ScopeClass)        // order payload before flag...
+	b.Store(sfence.R2, 64, sfence.R4) // message.ready = 1
+	b.FsEnd(1)
+	b.Halt()
+
+	// Thread 1: spin on the flag, then read the payload.
+	b.Entry("consumer")
+	b.MovI(sfence.R2, 4096)
+	b.Label("spin")
+	b.Load(sfence.R5, sfence.R2, 64)
+	b.Beq(sfence.R5, sfence.R0, "spin")
+	b.Fence(sfence.ScopeGlobal)
+	b.Load(sfence.R6, sfence.R2, 0) // guaranteed to see 42
+	b.MovI(sfence.R7, 8192)
+	b.Store(sfence.R7, 0, sfence.R6) // publish the observation
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := sfence.NewMachine(sfence.DefaultConfig(), prog, []sfence.Thread{
+		{Entry: "producer"},
+		{Entry: "consumer"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("finished in %d cycles\n", cycles)
+	fmt.Printf("consumer observed payload: %d\n", m.Image().Load(8192))
+	for i := 0; i < m.Cores(); i++ {
+		s := m.Core(i).Stats()
+		fmt.Printf("core %d: %d instructions, %d fences, %d fence-stall cycles\n",
+			i, s.Committed, s.CommittedFences, s.FenceStallCycles)
+	}
+}

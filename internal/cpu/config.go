@@ -1,0 +1,214 @@
+// Package cpu models an out-of-order superscalar core with a reorder
+// buffer, a non-FIFO store buffer (yielding an RMO-like relaxed memory
+// model), branch prediction with wrong-path fetch, and the Fence Scoping
+// hardware proposed by Lin et al. (SC '14): fence scope bits (FSB) on every
+// ROB and store-buffer entry, a fence scope stack (FSS) with a shadow copy
+// (FSS'), and a cid-to-FSB-entry mapping table.
+package cpu
+
+import "fmt"
+
+// FSSRecovery selects how the fence scope stack is repaired after a branch
+// misprediction.
+type FSSRecovery uint8
+
+const (
+	// RecoverySnapshot checkpoints the FSS at every predicted branch and
+	// restores the exact checkpoint on misprediction. This is slightly
+	// stronger than the paper's mechanism and never over- or
+	// under-synchronizes; it is the default.
+	RecoverySnapshot FSSRecovery = iota
+	// RecoveryShadow is the paper's FSS' mechanism: fs_start/fs_end update
+	// the shadow only when no unconfirmed branch precedes them, and on
+	// misprediction FSS is overwritten with FSS'. When the shadow is known
+	// to lag (scope operations were skipped), this implementation falls
+	// back to treating fences as full fences until the stack empties, so
+	// the approximation can never under-synchronize.
+	RecoveryShadow
+)
+
+func (r FSSRecovery) String() string {
+	switch r {
+	case RecoverySnapshot:
+		return "snapshot"
+	case RecoveryShadow:
+		return "shadow"
+	}
+	return fmt.Sprintf("FSSRecovery(%d)", uint8(r))
+}
+
+// Config holds the core parameters. DefaultConfig matches Table III of the
+// paper where the paper specifies a value.
+type Config struct {
+	ROBSize     int // reorder buffer entries (power of two)
+	SBSize      int // store buffer entries
+	IssueWidth  int // instructions decoded/issued into the ROB per cycle
+	RetireWidth int // instructions retired per cycle
+	MSHRs       int // concurrent outstanding store misses from the SB
+
+	// BranchPenalty is the fetch-redirect bubble after a misprediction,
+	// in cycles.
+	BranchPenalty int
+	// PredictorBits is the log2 size of the 2-bit-counter branch
+	// predictor table.
+	PredictorBits int
+
+	// ForwardLatency is the store-to-load forwarding latency in cycles.
+	ForwardLatency int
+
+	// FSBEntries is the number of fence scope bits per ROB/SB entry. The
+	// last entry is reserved for set scope; the rest hold class scopes.
+	FSBEntries int
+	// FSSEntries is the fence scope stack depth.
+	FSSEntries int
+	// MapEntries is the cid->FSB mapping table capacity.
+	MapEntries int
+
+	// InWindowSpec enables in-window speculation: fences issue
+	// speculatively and are checked against the store buffer before
+	// retiring (the paper's T+/S+ configurations).
+	InWindowSpec bool
+
+	// FIFOStoreBuffer drains stores strictly in order (a TSO-like
+	// baseline used for ablations); the default non-FIFO buffer models
+	// RMO.
+	FIFOStoreBuffer bool
+
+	// Recovery selects the FSS misprediction-recovery mechanism.
+	Recovery FSSRecovery
+}
+
+// DefaultConfig returns the paper's core parameters (Table III): 128-entry
+// ROB, 4 FSB entries, 4 FSS entries. Parameters the paper does not specify
+// use conventional academic-simulator values.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:        128,
+		SBSize:         8,
+		IssueWidth:     4,
+		RetireWidth:    4,
+		MSHRs:          8,
+		BranchPenalty:  3,
+		PredictorBits:  10,
+		ForwardLatency: 2,
+		FSBEntries:     4,
+		FSSEntries:     4,
+		MapEntries:     4,
+		InWindowSpec:   false,
+		Recovery:       RecoverySnapshot,
+	}
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.ROBSize < 2 || c.ROBSize&(c.ROBSize-1) != 0 {
+		return fmt.Errorf("cpu: ROBSize %d must be a power of two >= 2", c.ROBSize)
+	}
+	if c.SBSize < 1 {
+		return fmt.Errorf("cpu: SBSize %d must be >= 1", c.SBSize)
+	}
+	if c.IssueWidth < 1 || c.RetireWidth < 1 {
+		return fmt.Errorf("cpu: issue/retire width must be >= 1")
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("cpu: MSHRs must be >= 1")
+	}
+	if c.BranchPenalty < 0 || c.ForwardLatency < 1 {
+		return fmt.Errorf("cpu: bad latency parameters")
+	}
+	if c.PredictorBits < 1 || c.PredictorBits > 24 {
+		return fmt.Errorf("cpu: PredictorBits %d out of range [1,24]", c.PredictorBits)
+	}
+	if c.FSBEntries < 2 || c.FSBEntries > 8 {
+		return fmt.Errorf("cpu: FSBEntries %d out of range [2,8] (one entry is reserved for set scope)", c.FSBEntries)
+	}
+	if c.FSSEntries < 1 || c.FSSEntries > 8 {
+		return fmt.Errorf("cpu: FSSEntries %d out of range [1,8]", c.FSSEntries)
+	}
+	if c.MapEntries < 1 {
+		return fmt.Errorf("cpu: MapEntries must be >= 1")
+	}
+	return nil
+}
+
+// Stats accumulates per-core execution statistics.
+type Stats struct {
+	Committed       uint64 // architecturally committed instructions
+	CommittedLoads  uint64
+	CommittedStores uint64
+	CommittedCAS    uint64
+	CommittedFences uint64
+
+	// FenceStallCycles counts cycles in which the core could make no
+	// forward progress at a fence: issue blocked by an unissuable fence,
+	// or (with in-window speculation) retirement blocked by a fence at
+	// the ROB head. This is the "Fence Stalls" component of the paper's
+	// stacked bars.
+	FenceStallCycles uint64
+	// FenceStallIssue / FenceStallRetire break FenceStallCycles down by
+	// where the stall occurred.
+	FenceStallIssue  uint64
+	FenceStallRetire uint64
+	// FenceIdleCycles is the refined stall metric: cycles in which the
+	// core was blocked at a fence with an otherwise empty pipeline — no
+	// in-flight instruction left to execute, the fence purely waiting for
+	// outstanding memory (typically the store-buffer drain of Fig. 10).
+	// This is the "Fence Stalls" component used for the paper's stacked
+	// bars; FenceStallCycles additionally counts cycles where pre-fence
+	// work was still executing under the blocked fence.
+	FenceIdleCycles uint64
+
+	ROBFullCycles uint64 // issue blocked: ROB full
+	SBFullCycles  uint64 // retire blocked: store buffer full
+
+	Branches      uint64 // committed branches
+	Mispredicts   uint64
+	Squashed      uint64 // instructions discarded by squashes
+	WrongPathMem  uint64 // wrong-path memory accesses issued
+	SpecLoadFlush uint64 // speculative loads replayed by remote stores
+
+	ScopeOverflow uint64 // fs_start demoted to full-fence mode (MT/FSS full)
+	ScopeShared   uint64 // scopes that had to share an FSB entry
+	FSEndIgnored  uint64 // fs_end with empty FSS (wrong-path artifacts)
+
+	SumROBOccupancy uint64 // per-cycle sum, for average occupancy
+	MaxROBOccupancy int
+	Cycles          uint64 // cycles this core was active (not yet done)
+}
+
+// AvgROBOccupancy returns the mean ROB occupancy over the core's active
+// cycles.
+func (s *Stats) AvgROBOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SumROBOccupancy) / float64(s.Cycles)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o *Stats) {
+	s.Committed += o.Committed
+	s.CommittedLoads += o.CommittedLoads
+	s.CommittedStores += o.CommittedStores
+	s.CommittedCAS += o.CommittedCAS
+	s.CommittedFences += o.CommittedFences
+	s.FenceStallCycles += o.FenceStallCycles
+	s.FenceStallIssue += o.FenceStallIssue
+	s.FenceStallRetire += o.FenceStallRetire
+	s.FenceIdleCycles += o.FenceIdleCycles
+	s.ROBFullCycles += o.ROBFullCycles
+	s.SBFullCycles += o.SBFullCycles
+	s.Branches += o.Branches
+	s.Mispredicts += o.Mispredicts
+	s.Squashed += o.Squashed
+	s.WrongPathMem += o.WrongPathMem
+	s.SpecLoadFlush += o.SpecLoadFlush
+	s.ScopeOverflow += o.ScopeOverflow
+	s.ScopeShared += o.ScopeShared
+	s.FSEndIgnored += o.FSEndIgnored
+	s.SumROBOccupancy += o.SumROBOccupancy
+	if o.MaxROBOccupancy > s.MaxROBOccupancy {
+		s.MaxROBOccupancy = o.MaxROBOccupancy
+	}
+	s.Cycles += o.Cycles
+}

@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"testing"
+
+	"sfence/internal/isa"
+	"sfence/internal/memsys"
+)
+
+// A store-store fence must not block instruction issue: a long-latency
+// load placed after it should overlap with the pre-fence store's drain,
+// unlike a full fence.
+func TestStoreStoreFenceDoesNotBlockIssue(t *testing.T) {
+	build := func(order isa.FenceOrder) *isa.Program {
+		b := isa.NewBuilder()
+		b.Entry("main")
+		b.MovI(isa.R1, 1<<16) // cold store target
+		b.MovI(isa.R2, 7)
+		b.Store(isa.R1, 0, isa.R2)
+		b.FenceOrdered(isa.ScopeGlobal, order)
+		b.MovI(isa.R3, 1<<18) // cold load target
+		b.Load(isa.R4, isa.R3, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	_, fullCycles := runCore(t, DefaultConfig(), build(isa.OrderFull), "main", nil, nil)
+	_, ssCycles := runCore(t, DefaultConfig(), build(isa.OrderSS), "main", nil, nil)
+	if ssCycles >= fullCycles {
+		t.Errorf("SS fence (%d cycles) not faster than full fence (%d)", ssCycles, fullCycles)
+	}
+	if fullCycles-ssCycles < 100 {
+		t.Errorf("SS fence saved only %d cycles; expected miss-scale overlap", fullCycles-ssCycles)
+	}
+}
+
+// A store-store fence must still hold back younger stores until prior
+// stores drain: the younger store cannot enter the store buffer while the
+// fence is unretired, which the retire-blocked stall statistic witnesses.
+func TestStoreStoreFenceOrdersStores(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 1<<16)
+	b.MovI(isa.R2, 7)
+	b.Store(isa.R1, 0, isa.R2) // cold: drains slowly
+	b.FenceOrdered(isa.ScopeGlobal, isa.OrderSS)
+	b.MovI(isa.R3, 4096)
+	b.Store(isa.R3, 0, isa.R2) // must wait for the fence to retire
+	b.Halt()
+	core, _ := runCore(t, DefaultConfig(), b.MustBuild(), "main", nil, nil)
+	if core.Stats().FenceStallRetire == 0 {
+		t.Error("SS fence never blocked retirement despite a draining prior store")
+	}
+	if core.Stats().FenceStallIssue != 0 {
+		t.Error("SS fence blocked issue (it must not)")
+	}
+}
+
+// A load-load fence must not wait for prior stores or the store buffer: a
+// post-fence load overlaps with a draining pre-fence store.
+func TestLoadLoadFenceIgnoresStores(t *testing.T) {
+	build := func(order isa.FenceOrder) *isa.Program {
+		b := isa.NewBuilder()
+		b.Entry("main")
+		b.MovI(isa.R1, 1<<16)
+		b.MovI(isa.R2, 7)
+		b.Store(isa.R1, 0, isa.R2) // cold store: slow drain
+		b.FenceOrdered(isa.ScopeGlobal, order)
+		b.MovI(isa.R3, 1<<18)
+		b.Load(isa.R4, isa.R3, 0) // cold load
+		b.Halt()
+		return b.MustBuild()
+	}
+	_, fullCycles := runCore(t, DefaultConfig(), build(isa.OrderFull), "main", nil, nil)
+	_, llCycles := runCore(t, DefaultConfig(), build(isa.OrderLL), "main", nil, nil)
+	if llCycles >= fullCycles {
+		t.Errorf("LL fence (%d cycles) not faster than full fence (%d)", llCycles, fullCycles)
+	}
+}
+
+// A load-load fence must wait for prior loads: a post-fence load cannot
+// start before a pre-fence cold load completes.
+func TestLoadLoadFenceOrdersLoads(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 1<<16)
+	b.Load(isa.R2, isa.R1, 0) // cold load (unused value)
+	b.FenceOrdered(isa.ScopeGlobal, isa.OrderLL)
+	b.MovI(isa.R3, 1<<18)
+	b.Load(isa.R4, isa.R3, 0) // independent cold load
+	b.Halt()
+	core, cycles := runCore(t, DefaultConfig(), b.MustBuild(), "main", nil, nil)
+	if core.Stats().FenceStallIssue == 0 {
+		t.Error("LL fence never stalled issue despite an incomplete prior load")
+	}
+	// Two serialized ~312-cycle misses: the run must take >600 cycles.
+	if cycles < 600 {
+		t.Errorf("run took %d cycles; loads were not serialized by the LL fence", cycles)
+	}
+}
+
+// Forced speculative-load replay: with in-window speculation, a load that
+// executed past a pending fence and then observed a remote store to its
+// address must be squashed and replayed, yielding the post-store value.
+func TestSpeculativeLoadReplay(t *testing.T) {
+	b := isa.NewBuilder()
+	// writer: store X = 1 early (completes mid-drain of the reader's
+	// pre-fence store).
+	b.Entry("writer")
+	b.MovI(isa.R1, 1<<18) // X
+	b.MovI(isa.R2, 1)
+	b.Store(isa.R1, 0, isa.R2)
+	b.Halt()
+	// reader: slow private store pins the fence; the load of X issues
+	// speculatively past it.
+	b.Entry("reader")
+	b.MovI(isa.R1, 1<<16) // private cold line
+	b.MovI(isa.R2, 9)
+	b.Store(isa.R1, 0, isa.R2)
+	b.Fence(isa.ScopeGlobal)
+	b.MovI(isa.R3, 1<<18) // X
+	b.Load(isa.R4, isa.R3, 0)
+	b.MovI(isa.R5, 4096)
+	b.Store(isa.R5, 0, isa.R4) // publish observation
+	b.Halt()
+	p := b.MustBuild()
+
+	img := memsys.NewImage(1 << 20)
+	hier := memsys.MustHierarchy(2, memsys.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.InWindowSpec = true
+	writer, err := NewCore(0, cfg, p, p.MustEntry("writer"), nil, img, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewCore(1, cfg, p, p.MustEntry("reader"), nil, img, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer.OnStoreComplete = func(_ int, addr int64) { reader.NoteRemoteStore(addr) }
+	reader.OnStoreComplete = func(_ int, addr int64) { writer.NoteRemoteStore(addr) }
+	for cycle := int64(0); !(writer.Done() && reader.Done()); cycle++ {
+		if cycle > 1_000_000 {
+			t.Fatal("did not finish")
+		}
+		writer.Tick(cycle)
+		reader.Tick(cycle)
+	}
+	if got := img.Load(4096); got != 1 {
+		t.Errorf("reader observed %d, want 1 (replay failed)", got)
+	}
+	if reader.Stats().SpecLoadFlush == 0 {
+		t.Error("speculative load was never replayed (scenario did not trigger; timing drifted?)")
+	}
+}
+
+// The same scenario without speculation: the fence blocks issue, so no
+// replay machinery is needed and none must fire.
+func TestNoReplayWithoutSpeculation(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 1<<16)
+	b.MovI(isa.R2, 9)
+	b.Store(isa.R1, 0, isa.R2)
+	b.Fence(isa.ScopeGlobal)
+	b.MovI(isa.R3, 1<<18)
+	b.Load(isa.R4, isa.R3, 0)
+	b.Halt()
+	core, _ := runCore(t, DefaultConfig(), b.MustBuild(), "main", nil, nil)
+	if core.Stats().SpecLoadFlush != 0 {
+		t.Error("replay fired in non-speculative mode")
+	}
+}
+
+// MSHR throttling: with one MSHR, independent cold stores drain serially;
+// with eight they overlap.
+func TestMSHRThrottlesStoreDrain(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.Entry("main")
+		b.MovI(isa.R1, 1<<16)
+		b.MovI(isa.R2, 3)
+		for i := int64(0); i < 4; i++ {
+			b.Store(isa.R1, i*4096, isa.R2) // distinct lines and sets
+		}
+		b.Fence(isa.ScopeGlobal) // wait for the drain
+		b.Halt()
+		return b.MustBuild()
+	}
+	one := DefaultConfig()
+	one.MSHRs = 1
+	_, serial := runCore(t, one, build(), "main", nil, nil)
+	eight := DefaultConfig()
+	eight.MSHRs = 8
+	_, parallel := runCore(t, eight, build(), "main", nil, nil)
+	if parallel >= serial {
+		t.Errorf("8 MSHRs (%d cycles) not faster than 1 (%d)", parallel, serial)
+	}
+	if serial-parallel < 600 {
+		t.Errorf("MSHR gap only %d cycles for 4 misses; expected ~3 serialized misses", serial-parallel)
+	}
+}
+
+// FIFO store buffer drains in order: per-address values still end correct,
+// and the drain is slower than the non-FIFO buffer for independent misses.
+func TestFIFOStoreBufferSlowerButCorrect(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.Entry("main")
+		b.MovI(isa.R1, 1<<16)
+		for i := int64(0); i < 4; i++ {
+			b.MovI(isa.R2, 10+i)
+			b.Store(isa.R1, i*4096, isa.R2)
+		}
+		b.Fence(isa.ScopeGlobal)
+		b.Halt()
+		return b.MustBuild()
+	}
+	fifoCfg := DefaultConfig()
+	fifoCfg.FIFOStoreBuffer = true
+	imgF := memsys.NewImage(1 << 20)
+	_, fifoCycles := runCore(t, fifoCfg, build(), "main", nil, imgF)
+	imgN := memsys.NewImage(1 << 20)
+	_, rmoCycles := runCore(t, DefaultConfig(), build(), "main", nil, imgN)
+	for i := int64(0); i < 4; i++ {
+		if imgF.Load(1<<16+i*4096) != 10+i || imgN.Load(1<<16+i*4096) != 10+i {
+			t.Fatalf("store %d lost", i)
+		}
+	}
+	if fifoCycles <= rmoCycles {
+		t.Errorf("FIFO (%d) not slower than non-FIFO (%d) for independent misses", fifoCycles, rmoCycles)
+	}
+}
+
+// ROB occupancy statistics must be sane: max bounded by the configuration,
+// average positive for a non-trivial run.
+func TestROBOccupancyStats(t *testing.T) {
+	p := buildFenceProgram(isa.ScopeClass, false)
+	core, _ := runCore(t, DefaultConfig(), p, "main", nil, nil)
+	s := core.Stats()
+	if s.MaxROBOccupancy <= 0 || s.MaxROBOccupancy > DefaultConfig().ROBSize {
+		t.Errorf("max occupancy %d out of range", s.MaxROBOccupancy)
+	}
+	if s.AvgROBOccupancy() <= 0 || s.AvgROBOccupancy() > float64(DefaultConfig().ROBSize) {
+		t.Errorf("avg occupancy %f out of range", s.AvgROBOccupancy())
+	}
+}

@@ -1,0 +1,43 @@
+package cpu
+
+// predictor is a table of 2-bit saturating counters indexed by PC, with a
+// static backward-taken/forward-not-taken initial bias. It is fully
+// deterministic.
+type predictor struct {
+	counters []uint8
+	mask     int
+}
+
+func newPredictor(bits int) *predictor {
+	n := 1 << bits
+	p := &predictor{counters: make([]uint8, n), mask: n - 1}
+	for i := range p.counters {
+		p.counters[i] = 1 // weakly not taken
+	}
+	return p
+}
+
+// predict returns the predicted direction for a branch at pc with the
+// given target (backward branches with untrained counters predict taken).
+func (p *predictor) predict(pc, target int) bool {
+	c := p.counters[pc&p.mask]
+	if c == 1 && target <= pc {
+		// Untrained backward branch: static loop heuristic.
+		return true
+	}
+	return c >= 2
+}
+
+// update trains the counter with the actual outcome.
+func (p *predictor) update(pc int, taken bool) {
+	i := pc & p.mask
+	c := p.counters[i]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.counters[i] = c
+}

@@ -1,0 +1,63 @@
+package cpu
+
+import "testing"
+
+func TestPredictorStaticBackwardBias(t *testing.T) {
+	p := newPredictor(8)
+	if !p.predict(100, 50) {
+		t.Error("untrained backward branch should predict taken")
+	}
+	if p.predict(100, 200) {
+		t.Error("untrained forward branch should predict not taken")
+	}
+}
+
+func TestPredictorLearnsTaken(t *testing.T) {
+	p := newPredictor(8)
+	for i := 0; i < 4; i++ {
+		p.update(40, true)
+	}
+	if !p.predict(40, 200) {
+		t.Error("trained-taken forward branch should predict taken")
+	}
+	// Saturates: many more updates then a couple of not-taken should
+	// still predict taken (hysteresis).
+	for i := 0; i < 10; i++ {
+		p.update(40, true)
+	}
+	p.update(40, false)
+	if !p.predict(40, 200) {
+		t.Error("2-bit counter lost hysteresis")
+	}
+	p.update(40, false)
+	p.update(40, false)
+	if p.predict(40, 200) {
+		t.Error("repeated not-taken should flip the prediction")
+	}
+}
+
+func TestPredictorCounterSaturation(t *testing.T) {
+	p := newPredictor(4)
+	for i := 0; i < 100; i++ {
+		p.update(3, false)
+	}
+	if p.counters[3] != 0 {
+		t.Errorf("counter = %d, want saturated 0", p.counters[3])
+	}
+	for i := 0; i < 100; i++ {
+		p.update(3, true)
+	}
+	if p.counters[3] != 3 {
+		t.Errorf("counter = %d, want saturated 3", p.counters[3])
+	}
+}
+
+func TestPredictorIndexMasking(t *testing.T) {
+	p := newPredictor(4) // 16 entries
+	p.update(5, true)
+	p.update(5, true)
+	p.update(5, true)
+	if !p.predict(5+16, 1000) {
+		t.Error("aliased pc should share the counter")
+	}
+}

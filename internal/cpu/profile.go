@@ -1,0 +1,76 @@
+package cpu
+
+import "sort"
+
+// FenceSite aggregates the behaviour of one static fence instruction.
+type FenceSite struct {
+	PC          int
+	Scope       string // rendered fence mnemonic
+	Executions  uint64 // committed executions
+	StallCycles uint64 // cycles this site blocked issue or retirement
+	IdleCycles  uint64 // stall cycles with an otherwise empty pipeline
+}
+
+// fenceProfile accumulates per-PC fence statistics. Fences are few and
+// static, so a map is fine off the hot path (one lookup per stalled cycle
+// or commit, not per cycle).
+type fenceProfile struct {
+	sites map[int]*FenceSite
+}
+
+func (p *fenceProfile) site(pc int, scope string) *FenceSite {
+	if p.sites == nil {
+		p.sites = make(map[int]*FenceSite)
+	}
+	s := p.sites[pc]
+	if s == nil {
+		s = &FenceSite{PC: pc, Scope: scope}
+		p.sites[pc] = s
+	}
+	return s
+}
+
+// FenceProfile returns the per-site fence statistics, sorted by stall
+// cycles (highest first) — the fences a programmer would scope first.
+func (c *Core) FenceProfile() []FenceSite {
+	out := make([]FenceSite, 0, len(c.profile.sites))
+	for _, s := range c.profile.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StallCycles != out[j].StallCycles {
+			return out[i].StallCycles > out[j].StallCycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// MergeFenceProfiles combines per-core profiles into one per-site view.
+func MergeFenceProfiles(profiles ...[]FenceSite) []FenceSite {
+	merged := map[int]*FenceSite{}
+	for _, prof := range profiles {
+		for _, s := range prof {
+			m := merged[s.PC]
+			if m == nil {
+				cp := s
+				merged[s.PC] = &cp
+				continue
+			}
+			m.Executions += s.Executions
+			m.StallCycles += s.StallCycles
+			m.IdleCycles += s.IdleCycles
+		}
+	}
+	out := make([]FenceSite, 0, len(merged))
+	for _, s := range merged {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StallCycles != out[j].StallCycles {
+			return out[i].StallCycles > out[j].StallCycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"testing"
+
+	"sfence/internal/isa"
+)
+
+func TestFenceProfileIdentifiesStallingSite(t *testing.T) {
+	// Two fences: one behind a cold store (stalls hard), one behind
+	// nothing (stalls briefly or not at all).
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 1<<16)
+	b.MovI(isa.R2, 3)
+	b.Store(isa.R1, 0, isa.R2)
+	b.Fence(isa.ScopeGlobal) // hot site
+	b.Nop()
+	b.Fence(isa.ScopeGlobal) // cheap site
+	b.Halt()
+	p := b.MustBuild()
+	core, _ := runCore(t, DefaultConfig(), p, "main", nil, nil)
+	prof := core.FenceProfile()
+	if len(prof) != 2 {
+		t.Fatalf("profile has %d sites, want 2", len(prof))
+	}
+	hot := prof[0]
+	if hot.StallCycles < 200 {
+		t.Errorf("hot fence stalled only %d cycles", hot.StallCycles)
+	}
+	if hot.Executions != 1 {
+		t.Errorf("hot fence executed %d times", hot.Executions)
+	}
+	if prof[1].StallCycles > hot.StallCycles {
+		t.Error("profile not sorted by stall cycles")
+	}
+	if hot.Scope != "fence.global" {
+		t.Errorf("scope mnemonic %q", hot.Scope)
+	}
+	if hot.IdleCycles == 0 {
+		t.Error("hot fence recorded no idle cycles despite an empty pipeline wait")
+	}
+}
+
+func TestFenceProfileLoop(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 1<<16)
+	b.MovI(isa.R2, 5) // iterations
+	b.Label("loop")
+	b.AddI(isa.R1, isa.R1, 64)
+	b.Store(isa.R1, 0, isa.R2)
+	b.Fence(isa.ScopeGlobal)
+	b.AddI(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "loop")
+	b.Halt()
+	core, _ := runCore(t, DefaultConfig(), b.MustBuild(), "main", nil, nil)
+	prof := core.FenceProfile()
+	if len(prof) != 1 {
+		t.Fatalf("profile has %d sites, want 1 (same static fence)", len(prof))
+	}
+	if prof[0].Executions != 5 {
+		t.Errorf("executions = %d, want 5", prof[0].Executions)
+	}
+}
+
+func TestMergeFenceProfiles(t *testing.T) {
+	a := []FenceSite{{PC: 4, Scope: "fence.global", Executions: 2, StallCycles: 100, IdleCycles: 50}}
+	b := []FenceSite{
+		{PC: 4, Scope: "fence.global", Executions: 3, StallCycles: 30, IdleCycles: 10},
+		{PC: 9, Scope: "fence.class", Executions: 1, StallCycles: 400, IdleCycles: 300},
+	}
+	m := MergeFenceProfiles(a, b)
+	if len(m) != 2 {
+		t.Fatalf("merged %d sites, want 2", len(m))
+	}
+	if m[0].PC != 9 {
+		t.Error("merge not sorted by stall cycles")
+	}
+	if m[1].Executions != 5 || m[1].StallCycles != 130 || m[1].IdleCycles != 60 {
+		t.Errorf("merge sums wrong: %+v", m[1])
+	}
+}

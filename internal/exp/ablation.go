@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"sfence/internal/cpu"
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// AblationRow is one configuration point of an ablation sweep.
+type AblationRow struct {
+	Bench  string
+	Param  string
+	Value  int
+	Cycles int64
+	Stall  float64 // fence-stall fraction
+}
+
+// AblationFSBEntries sweeps the number of fence scope bits per entry
+// (1 class entry + reserved set entry up to 7+1). The paper fixes 4; the
+// sweep shows that small FSBs force entry sharing (stricter ordering,
+// slightly slower) while more than 4 buys nothing for these workloads.
+func AblationFSBEntries(sc Scale) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, bench := range []string{"wsq", "pst"} {
+		for _, n := range []int{2, 3, 4, 8} {
+			cfg := baseConfig()
+			cfg.Core.FSBEntries = n
+			res, err := runOne(bench, kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationRow{bench, "FSBEntries", n, res.Cycles, res.FenceStallFraction()})
+		}
+	}
+	return out, nil
+}
+
+// AblationFSSDepth sweeps the fence scope stack depth; depth 1 overflows
+// on every nested scope, demoting fences to full fences.
+func AblationFSSDepth(sc Scale) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, bench := range []string{"wsq", "msn"} {
+		for _, n := range []int{1, 2, 4} {
+			cfg := baseConfig()
+			cfg.Core.FSSEntries = n
+			res, err := runOne(bench, kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationRow{bench, "FSSEntries", n, res.Cycles, res.FenceStallFraction()})
+		}
+	}
+	return out, nil
+}
+
+// AblationStoreBuffer sweeps store-buffer capacity: small buffers throttle
+// both fence flavors; larger buffers widen the traditional fence's drain
+// window and hence S-Fence's advantage.
+func AblationStoreBuffer(sc Scale) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, bench := range []string{"wsq", "barnes"} {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			for _, n := range []int{2, 8, 16} {
+				cfg := baseConfig()
+				cfg.Core.SBSize = n
+				res, err := runOne(bench, kernels.Options{Mode: mode, Ops: opsFor(bench, sc)}, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, AblationRow{bench + "/" + mode.String(), "SBSize", n, res.Cycles, res.FenceStallFraction()})
+			}
+		}
+	}
+	return out, nil
+}
+
+// AblationFIFOStoreBuffer compares the RMO (non-FIFO) store buffer with a
+// TSO-like FIFO drain: under FIFO, stores cannot overtake each other, so
+// the scoped fence's ability to skip out-of-scope stores matters less for
+// store-store ordering but still pays off at store-load fences.
+func AblationFIFOStoreBuffer(sc Scale) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, bench := range []string{"wsq", "barnes"} {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			for i, fifo := range []bool{false, true} {
+				cfg := baseConfig()
+				cfg.Core.FIFOStoreBuffer = fifo
+				res, err := runOne(bench, kernels.Options{Mode: mode, Ops: opsFor(bench, sc)}, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, AblationRow{bench + "/" + mode.String(), "FIFO", i, res.Cycles, res.FenceStallFraction()})
+			}
+		}
+	}
+	return out, nil
+}
+
+// AblationFinerFences measures the Section VII combination: the wsq put()
+// fence only needs store-store ordering (Fig. 2's "storestore" comment),
+// so replacing it with a scoped store-store fence removes its issue stall
+// entirely. Value 0 = full fences, 1 = SS put fence.
+func AblationFinerFences(sc Scale) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, bench := range []string{"wsq", "pst"} {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			for i, finer := range []bool{false, true} {
+				res, err := runOne(bench, kernels.Options{
+					Mode: mode, Ops: opsFor(bench, sc), FinerFences: finer,
+				}, baseConfig())
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, AblationRow{bench + "/" + mode.String(), "SSPutFence", i, res.Cycles, res.FenceStallFraction()})
+			}
+		}
+	}
+	return out, nil
+}
+
+// AblationRecovery compares the exact snapshot FSS recovery with the
+// paper's shadow-FSS mechanism (with its conservative post-recovery
+// guard); the shadow variant may demote some fences to full fences after
+// mispredictions.
+func AblationRecovery(sc Scale) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, bench := range []string{"wsq", "pst"} {
+		for i, rec := range []machine.Config{recCfg(0), recCfg(1)} {
+			res, err := runOne(bench, kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, rec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationRow{bench, "Recovery", i, res.Cycles, res.FenceStallFraction()})
+		}
+	}
+	return out, nil
+}
+
+func recCfg(r int) machine.Config {
+	cfg := baseConfig()
+	cfg.Core.Recovery = cpu.FSSRecovery(r)
+	return cfg
+}

@@ -1,0 +1,186 @@
+// Package exp defines the paper's experiments: one regeneration function
+// per table and figure of the evaluation section (Section VI), plus the
+// ablations called out in DESIGN.md. Each function returns structured
+// results and has an accompanying renderer producing the ASCII equivalent
+// of the paper's chart.
+package exp
+
+import (
+	"fmt"
+
+	"sfence/internal/cpu"
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick shrinks workloads for CI and unit tests.
+	Quick Scale = iota
+	// Full is the paper-shaped sizing used for EXPERIMENTS.md.
+	Full
+)
+
+// opsFor returns the per-benchmark operation count at a scale.
+func opsFor(bench string, sc Scale) int {
+	quick := map[string]int{
+		"dekker": 25, "wsq": 50, "msn": 32, "harris": 40,
+		"pst": 160, "ptc": 64, "barnes": 16, "radiosity": 16,
+	}
+	full := map[string]int{
+		"dekker": 60, "wsq": 120, "msn": 80, "harris": 90,
+		"pst": 400, "ptc": 128, "barnes": 48, "radiosity": 48,
+	}
+	if sc == Quick {
+		return quick[bench]
+	}
+	return full[bench]
+}
+
+// threadsFor returns the per-benchmark thread count (Table III: 8 cores).
+func threadsFor(bench string) int {
+	switch bench {
+	case "dekker":
+		return 2
+	case "wsq", "msn", "harris":
+		return 4
+	default:
+		return 8
+	}
+}
+
+// baseConfig is the Table III machine.
+func baseConfig() machine.Config { return machine.DefaultConfig() }
+
+// runOne builds and runs a benchmark under the given mode/config.
+func runOne(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+	if opts.Threads == 0 {
+		opts.Threads = threadsFor(bench)
+	}
+	k, err := kernels.Build(bench, opts)
+	if err != nil {
+		return kernels.Result{}, err
+	}
+	return kernels.Run(k, cfg)
+}
+
+// Bar is one stacked bar of a normalized-execution-time chart: the fence
+// stall portion and the rest, both normalized to the experiment's baseline
+// total time (the paper's presentation in Figures 13-16).
+type Bar struct {
+	Label      string
+	FenceStall float64
+	Others     float64
+}
+
+// Total returns the bar height (normalized execution time).
+func (b Bar) Total() float64 { return b.FenceStall + b.Others }
+
+// barFrom converts a run into a Bar normalized against baselineCycles.
+func barFrom(label string, r kernels.Result, baselineCycles int64) Bar {
+	height := float64(r.Cycles) / float64(baselineCycles)
+	stall := height * r.FenceStallFraction()
+	return Bar{Label: label, FenceStall: stall, Others: height - stall}
+}
+
+// SpeedupSeries is one benchmark's curve in Figure 12.
+type SpeedupSeries struct {
+	Bench    string
+	Workload []int
+	Speedup  []float64
+}
+
+// Peak returns the peak speedup and its workload level.
+func (s SpeedupSeries) Peak() (float64, int) {
+	best, at := 0.0, 0
+	for i, v := range s.Speedup {
+		if v > best {
+			best, at = v, s.Workload[i]
+		}
+	}
+	return best, at
+}
+
+// BenchGroup is one benchmark's bars in a grouped figure.
+type BenchGroup struct {
+	Bench string
+	Bars  []Bar
+}
+
+// modeOpts builds options for the four paper configurations T, S, T+, S+.
+var fig13Configs = []struct {
+	Label string
+	Mode  kernels.FenceMode
+	Spec  bool
+}{
+	{"T", kernels.Traditional, false},
+	{"S", kernels.Scoped, false},
+	{"T+", kernels.Traditional, true},
+	{"S+", kernels.Scoped, true},
+}
+
+func withSpec(cfg machine.Config, spec bool) machine.Config {
+	cfg.Core.InWindowSpec = spec
+	return cfg
+}
+
+// HardwareCost computes the per-core storage cost of the S-Fence hardware
+// (Section VI-E): fence scope bits on every ROB and store-buffer entry,
+// the mapping table, and both fence scope stacks.
+type HardwareCostReport struct {
+	ROBFSBBits   int
+	SBFSBBits    int
+	MappingBits  int
+	FSSBits      int
+	TotalBits    int
+	TotalBytes   float64
+	PaperClaimOK bool // < 80 bytes per core for the Table III configuration
+}
+
+// HardwareCost evaluates the cost model for a core configuration.
+func HardwareCost(cfg cpu.Config) HardwareCostReport {
+	entryBits := cfg.FSBEntries
+	rob := cfg.ROBSize * entryBits
+	sb := cfg.SBSize * entryBits
+	// Mapping table: an 8-bit cid tag (classes containing fences are
+	// few), an FSB entry index, and a valid bit per slot.
+	idxBits := 1
+	for 1<<idxBits < cfg.FSBEntries {
+		idxBits++
+	}
+	mt := cfg.MapEntries * (8 + idxBits + 1)
+	// FSS and its shadow: entry indices plus a depth counter each.
+	fss := 2 * (cfg.FSSEntries*idxBits + 8)
+	total := rob + sb + mt + fss
+	return HardwareCostReport{
+		ROBFSBBits:   rob,
+		SBFSBBits:    sb,
+		MappingBits:  mt,
+		FSSBits:      fss,
+		TotalBits:    total,
+		TotalBytes:   float64(total) / 8,
+		PaperClaimOK: float64(total)/8 < 80,
+	}
+}
+
+// TableIIIRow describes one architectural parameter.
+type TableIIIRow struct{ Parameter, Value string }
+
+// TableIII returns the simulated machine's architectural parameters in
+// the paper's Table III layout.
+func TableIII(cfg machine.Config) []TableIIIRow {
+	return []TableIIIRow{
+		{"Processor", fmt.Sprintf("%d core CMP, out-of-order", cfg.Cores)},
+		{"ROB size", fmt.Sprintf("%d", cfg.Core.ROBSize)},
+		{"L1 Cache", fmt.Sprintf("private %d KB, %d way, %d-cycle latency", cfg.Mem.L1.SizeBytes>>10, cfg.Mem.L1.Ways, cfg.Mem.L1.Latency)},
+		{"L2 Cache", fmt.Sprintf("shared %d MB, %d way, %d-cycle latency", cfg.Mem.L2.SizeBytes>>20, cfg.Mem.L2.Ways, cfg.Mem.L2.Latency)},
+		{"Memory", fmt.Sprintf("%d-cycle latency", cfg.Mem.MemLatency)},
+		{"# of FSB entries", fmt.Sprintf("%d", cfg.Core.FSBEntries)},
+		{"# of FSS entries", fmt.Sprintf("%d", cfg.Core.FSSEntries)},
+	}
+}
+
+// TableIV returns the benchmark descriptions (the paper's Table IV).
+func TableIV() []kernels.Info { return kernels.All() }

@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/machine"
+)
+
+func TestFigure12ShapeHolds(t *testing.T) {
+	series, err := Figure12(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4", len(series))
+	}
+	for _, s := range series {
+		peak, _ := s.Peak()
+		if peak < 1.02 {
+			t.Errorf("%s: peak speedup %.3f shows no S-Fence benefit", s.Bench, peak)
+		}
+		if peak > 2.5 {
+			t.Errorf("%s: peak speedup %.3f implausibly large", s.Bench, peak)
+		}
+		for i, v := range s.Speedup {
+			if v < 0.95 {
+				t.Errorf("%s: workload %d speedup %.3f well below 1 (S-Fence should never lose)", s.Bench, s.Workload[i], v)
+			}
+		}
+	}
+	out := RenderFigure12(series)
+	if !strings.Contains(out, "dekker") || !strings.Contains(out, "peak") {
+		t.Error("render missing content")
+	}
+}
+
+func TestFigure13ShapeHolds(t *testing.T) {
+	groups, err := Figure13(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Bars) != 4 {
+			t.Fatalf("%s: got %d bars, want 4 (T,S,T+,S+)", g.Bench, len(g.Bars))
+		}
+		T, S, Tp, Sp := g.Bars[0], g.Bars[1], g.Bars[2], g.Bars[3]
+		if T.Total() != 1.0 {
+			t.Errorf("%s: T bar not normalized to 1.0: %v", g.Bench, T.Total())
+		}
+		noise := 0.05
+		if g.Bench == "ptc" {
+			noise = 0.10 // dynamic schedule
+		}
+		if S.Total() > T.Total()+noise {
+			t.Errorf("%s: S (%0.3f) slower than T", g.Bench, S.Total())
+		}
+		if Sp.Total() > Tp.Total()+noise {
+			t.Errorf("%s: S+ (%0.3f) slower than T+ (%0.3f)", g.Bench, Sp.Total(), Tp.Total())
+		}
+		// In-window speculation reduces fence stalls vs non-speculative.
+		if Tp.FenceStall > T.FenceStall+0.02 {
+			t.Errorf("%s: T+ fence stalls (%0.3f) exceed T (%0.3f)", g.Bench, Tp.FenceStall, T.FenceStall)
+		}
+	}
+	// The paper's headline: barnes and radiosity lose a large share of
+	// their fence stalls under S.
+	for _, g := range groups {
+		if g.Bench == "barnes" || g.Bench == "radiosity" {
+			T, S := g.Bars[0], g.Bars[1]
+			if S.FenceStall > 0.6*T.FenceStall {
+				t.Errorf("%s: S-Fence removed too few stalls (T=%.3f S=%.3f)", g.Bench, T.FenceStall, S.FenceStall)
+			}
+		}
+	}
+}
+
+func TestFigure14SetSlightlyBetter(t *testing.T) {
+	groups, err := Figure14(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		cs, ss := g.Bars[0], g.Bars[1]
+		if cs.Total() != 1.0 {
+			t.Errorf("%s: class-scope bar not normalized", g.Bench)
+		}
+		// The paper: set scope slightly better, difference not
+		// significant. Allow generous noise either way.
+		if ss.Total() > cs.Total()*1.10 {
+			t.Errorf("%s: set scope (%0.3f) much slower than class scope", g.Bench, ss.Total())
+		}
+	}
+}
+
+func TestFigure15LatencyTrend(t *testing.T) {
+	groups, err := Figure15(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		byLabel := map[string]Bar{}
+		for _, b := range g.Bars {
+			byLabel[b.Label] = b
+		}
+		// Higher latency => slower (both modes).
+		if byLabel["500T"].Total() <= byLabel["200T"].Total() {
+			t.Errorf("%s: 500-cycle run not slower than 200-cycle run", g.Bench)
+		}
+		// For the set-scope apps, S beats T at every latency.
+		if g.Bench == "barnes" || g.Bench == "radiosity" {
+			for _, lat := range []string{"200", "300", "500"} {
+				if byLabel[lat+"S"].Total() >= byLabel[lat+"T"].Total() {
+					t.Errorf("%s: S not faster at %s-cycle latency", g.Bench, lat)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure16ROBTrend(t *testing.T) {
+	groups, err := Figure16(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if len(g.Bars) != 6 {
+			t.Fatalf("%s: got %d bars, want 6", g.Bench, len(g.Bars))
+		}
+		byLabel := map[string]Bar{}
+		for _, b := range g.Bars {
+			byLabel[b.Label] = b
+		}
+		// A larger ROB must never hurt (allowing small noise).
+		if byLabel["256S"].Total() > byLabel["64S"].Total()*1.08 {
+			t.Errorf("%s: 256-entry ROB slower than 64-entry (%.3f vs %.3f)",
+				g.Bench, byLabel["256S"].Total(), byLabel["64S"].Total())
+		}
+	}
+}
+
+func TestHardwareCostMatchesPaperClaim(t *testing.T) {
+	rep := HardwareCost(cpu.DefaultConfig())
+	if !rep.PaperClaimOK {
+		t.Errorf("default configuration costs %.1f bytes, paper claims <80", rep.TotalBytes)
+	}
+	// 128-entry ROB x 4 bits = 512 bits; 8-entry SB x 4 = 32 bits.
+	if rep.ROBFSBBits != 512 || rep.SBFSBBits != 32 {
+		t.Errorf("FSB bits: ROB=%d SB=%d", rep.ROBFSBBits, rep.SBFSBBits)
+	}
+	out := RenderHardwareCost(rep)
+	if !strings.Contains(out, "bytes") {
+		t.Error("render missing content")
+	}
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	rows := TableIII(machine.DefaultConfig())
+	joined := ""
+	for _, r := range rows {
+		joined += r.Parameter + "=" + r.Value + ";"
+	}
+	for _, want := range []string{"8 core CMP", "128", "32 KB, 4 way, 2-cycle", "1 MB, 8 way, 10-cycle", "300-cycle"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table III missing %q in %q", want, joined)
+		}
+	}
+	if !strings.Contains(RenderTableIII(machine.DefaultConfig()), "Table III") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTableIVComplete(t *testing.T) {
+	out := RenderTableIV()
+	for _, b := range []string{"dekker", "wsq", "msn", "harris", "barnes", "radiosity", "pst", "ptc"} {
+		if !strings.Contains(out, b) {
+			t.Errorf("Table IV missing %s", b)
+		}
+	}
+}
+
+// The Section VII combination of scoping with finer fences: a store-store
+// put fence must strictly reduce wsq's fence stalls on top of scoping.
+func TestFinerFencesReduceWSQStalls(t *testing.T) {
+	rows, err := AblationFinerFences(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Bench+"/"+intLabel(r.Value)] = r
+	}
+	full := byKey["wsq/scoped/0"]
+	ss := byKey["wsq/scoped/1"]
+	if ss.Cycles >= full.Cycles {
+		t.Errorf("SS put fence did not speed up scoped wsq: %d vs %d", ss.Cycles, full.Cycles)
+	}
+	if ss.Stall >= full.Stall {
+		t.Errorf("SS put fence did not reduce stalls: %.3f vs %.3f", ss.Stall, full.Stall)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	for name, fn := range map[string]func(Scale) ([]AblationRow, error){
+		"fsb":      AblationFSBEntries,
+		"fss":      AblationFSSDepth,
+		"sb":       AblationStoreBuffer,
+		"fifo":     AblationFIFOStoreBuffer,
+		"finer":    AblationFinerFences,
+		"recovery": AblationRecovery,
+	} {
+		rows, err := fn(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+		if out := RenderAblation(name, rows); !strings.Contains(out, "cycles") {
+			t.Errorf("%s: render missing header", name)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"strconv"
+
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// figRun is one (benchmark, configuration) simulation inside a figure.
+type figRun struct {
+	bench string
+	opts  kernels.Options
+	cfg   machine.Config
+	res   kernels.Result
+}
+
+// execute fills in the res fields of all runs, in parallel.
+func execute(runs []*figRun) error {
+	jobs := make([]func() error, len(runs))
+	for i, r := range runs {
+		r := r
+		jobs[i] = func() error {
+			res, err := runOne(r.bench, r.opts, r.cfg)
+			if err != nil {
+				return err
+			}
+			r.res = res
+			return nil
+		}
+	}
+	return runParallel(jobs)
+}
+
+// Figure12 reproduces "Impact of workload": the speedup of S-Fence over
+// traditional fences for the four lock-free algorithms across six workload
+// levels. The paper reports hump-shaped curves with peaks between 1.13x
+// and 1.34x, dekker peaking earliest.
+func Figure12(sc Scale) ([]SpeedupSeries, error) {
+	benches := []string{"dekker", "wsq", "msn", "harris"}
+	levels := []int{1, 2, 3, 4, 5, 6}
+	modes := []kernels.FenceMode{kernels.Traditional, kernels.Scoped}
+
+	grid := map[[3]int]*figRun{}
+	var runs []*figRun
+	for bi, bench := range benches {
+		for li, w := range levels {
+			for mi, mode := range modes {
+				r := &figRun{bench: bench, opts: kernels.Options{
+					Mode: mode, Ops: opsFor(bench, sc), Workload: w,
+				}, cfg: baseConfig()}
+				grid[[3]int{bi, li, mi}] = r
+				runs = append(runs, r)
+			}
+		}
+	}
+	if err := execute(runs); err != nil {
+		return nil, err
+	}
+	out := make([]SpeedupSeries, 0, len(benches))
+	for bi, bench := range benches {
+		series := SpeedupSeries{Bench: bench, Workload: levels}
+		for li := range levels {
+			t := grid[[3]int{bi, li, 0}].res.Cycles
+			s := grid[[3]int{bi, li, 1}].res.Cycles
+			series.Speedup = append(series.Speedup, float64(t)/float64(s))
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Figure13 reproduces "Performance on full applications": normalized
+// execution time of pst, ptc, barnes, and radiosity under T (traditional),
+// S (S-Fence), T+ and S+ (with in-window speculation), split into fence
+// stalls and the rest and normalized to T.
+func Figure13(sc Scale) ([]BenchGroup, error) {
+	benches := []string{"pst", "ptc", "barnes", "radiosity"}
+	grid := map[[2]int]*figRun{}
+	var runs []*figRun
+	for bi, bench := range benches {
+		for ci, c := range fig13Configs {
+			r := &figRun{bench: bench, opts: kernels.Options{
+				Mode: c.Mode, Ops: opsFor(bench, sc),
+			}, cfg: withSpec(baseConfig(), c.Spec)}
+			grid[[2]int{bi, ci}] = r
+			runs = append(runs, r)
+		}
+	}
+	if err := execute(runs); err != nil {
+		return nil, err
+	}
+	out := make([]BenchGroup, 0, len(benches))
+	for bi, bench := range benches {
+		group := BenchGroup{Bench: bench}
+		baseline := grid[[2]int{bi, 0}].res.Cycles // "T"
+		for ci, c := range fig13Configs {
+			group.Bars = append(group.Bars, barFrom(c.Label, grid[[2]int{bi, ci}].res, baseline))
+		}
+		out = append(out, group)
+	}
+	return out, nil
+}
+
+// Figure14 reproduces "Class scope vs. Set scope" for msn, harris, pst,
+// and ptc: both scoped variants, normalized to class scope.
+func Figure14(sc Scale) ([]BenchGroup, error) {
+	benches := []string{"msn", "harris", "pst", "ptc"}
+	variants := []struct {
+		Label string
+		Scope kernels.ScopeOverride
+	}{
+		{"C.S.", kernels.ForceClass},
+		{"S.S.", kernels.ForceSet},
+	}
+	grid := map[[2]int]*figRun{}
+	var runs []*figRun
+	for bi, bench := range benches {
+		for vi, v := range variants {
+			r := &figRun{bench: bench, opts: kernels.Options{
+				Mode: kernels.Scoped, Scope: v.Scope, Ops: opsFor(bench, sc),
+			}, cfg: baseConfig()}
+			grid[[2]int{bi, vi}] = r
+			runs = append(runs, r)
+		}
+	}
+	if err := execute(runs); err != nil {
+		return nil, err
+	}
+	out := make([]BenchGroup, 0, len(benches))
+	for bi, bench := range benches {
+		group := BenchGroup{Bench: bench}
+		baseline := grid[[2]int{bi, 0}].res.Cycles
+		for vi, v := range variants {
+			group.Bars = append(group.Bars, barFrom(v.Label, grid[[2]int{bi, vi}].res, baseline))
+		}
+		out = append(out, group)
+	}
+	return out, nil
+}
+
+// sweepFigure runs a T/S pair per parameter value per benchmark, with bars
+// normalized to the baseline value's traditional run.
+func sweepFigure(sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
+	benches := []string{"pst", "ptc", "barnes", "radiosity"}
+	modes := []struct {
+		suffix string
+		mode   kernels.FenceMode
+	}{{"T", kernels.Traditional}, {"S", kernels.Scoped}}
+
+	grid := map[[3]int]*figRun{}
+	var runs []*figRun
+	for bi, bench := range benches {
+		for vi, v := range values {
+			for mi, mc := range modes {
+				r := &figRun{bench: bench, opts: kernels.Options{
+					Mode: mc.mode, Ops: opsFor(bench, sc),
+				}, cfg: apply(baseConfig(), v)}
+				grid[[3]int{bi, vi, mi}] = r
+				runs = append(runs, r)
+			}
+		}
+	}
+	if err := execute(runs); err != nil {
+		return nil, err
+	}
+	baseIdx := 0
+	for vi, v := range values {
+		if v == baseline {
+			baseIdx = vi
+		}
+	}
+	out := make([]BenchGroup, 0, len(benches))
+	for bi, bench := range benches {
+		group := BenchGroup{Bench: bench}
+		base := grid[[3]int{bi, baseIdx, 0}].res.Cycles
+		for vi, v := range values {
+			for mi, mc := range modes {
+				group.Bars = append(group.Bars, barFrom(label(v)+mc.suffix, grid[[3]int{bi, vi, mi}].res, base))
+			}
+		}
+		out = append(out, group)
+	}
+	return out, nil
+}
+
+// Figure15 reproduces "Varying memory access latency": pst, ptc, barnes,
+// radiosity under traditional and scoped fences at 200-, 300-, and
+// 500-cycle memory latency, normalized per benchmark to the 300-cycle
+// traditional run (the Table III default, matching the paper's
+// normalization to the traditional-fence total).
+func Figure15(sc Scale) ([]BenchGroup, error) {
+	return sweepFigure(sc, []int{200, 300, 500}, 300, intLabel,
+		func(cfg machine.Config, lat int) machine.Config {
+			cfg.Mem.MemLatency = lat
+			return cfg
+		})
+}
+
+// Figure16 reproduces "Varying ROB size": 64-, 128-, and 256-entry reorder
+// buffers under traditional and scoped fences, normalized per benchmark to
+// the 128-entry traditional run.
+func Figure16(sc Scale) ([]BenchGroup, error) {
+	return sweepFigure(sc, []int{64, 128, 256}, 128, intLabel,
+		func(cfg machine.Config, size int) machine.Config {
+			cfg.Core.ROBSize = size
+			return cfg
+		})
+}
+
+func intLabel(v int) string { return strconv.Itoa(v) }

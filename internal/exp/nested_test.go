@@ -1,0 +1,26 @@
+package exp
+
+import "testing"
+
+func TestNestedScopePressure(t *testing.T) {
+	rows, err := AblationNestedScopes(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Bench+"/"+intLabel(r.Value)] = r
+		t.Logf("%-16s fss=%d cycles=%d stall=%.3f", r.Bench, r.Value, r.Cycles, r.Stall)
+	}
+	// Ample hardware (fsb4/fss4) must beat the entry-sharing config
+	// (fsb2) and the FSS-overflow config (fss1).
+	ample := byKey["nested/fsb4/4"]
+	sharing := byKey["nested/fsb2/4"]
+	overflow := byKey["nested/fsb4/1"]
+	if ample.Cycles >= sharing.Cycles {
+		t.Errorf("FSB sharing did not cost anything: ample %d vs sharing %d", ample.Cycles, sharing.Cycles)
+	}
+	if ample.Cycles >= overflow.Cycles {
+		t.Errorf("FSS overflow did not cost anything: ample %d vs overflow %d", ample.Cycles, overflow.Cycles)
+	}
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism bounds concurrent simulation runs inside one experiment.
+// Each run is an independent deterministic machine, so parallel execution
+// cannot change any result — only wall-clock time.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// runParallel executes the jobs on at most Parallelism workers and returns
+// the first error (all jobs are always waited for).
+func runParallel(jobs []func() error) error {
+	limit := Parallelism
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func() error) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := job(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(job)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"sfence/internal/machine"
+)
+
+// RenderFigure12 formats the workload-sweep speedup table.
+func RenderFigure12(series []SpeedupSeries) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12 — Impact of workload (speedup of S-Fence over traditional fence)\n")
+	sb.WriteString(fmt.Sprintf("%-10s", "workload"))
+	if len(series) > 0 {
+		for _, w := range series[0].Workload {
+			sb.WriteString(fmt.Sprintf("%8d", w))
+		}
+	}
+	sb.WriteString(fmt.Sprintf("%10s\n", "peak"))
+	for _, s := range series {
+		sb.WriteString(fmt.Sprintf("%-10s", s.Bench))
+		for _, v := range s.Speedup {
+			sb.WriteString(fmt.Sprintf("%8.3f", v))
+		}
+		peak, at := s.Peak()
+		sb.WriteString(fmt.Sprintf("  %.3fx@%d\n", peak, at))
+	}
+	return sb.String()
+}
+
+// RenderGroups formats a grouped stacked-bar figure as a table plus ASCII
+// bars (normalized execution time; lower is better).
+func RenderGroups(title string, groups []BenchGroup) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	sb.WriteString(fmt.Sprintf("%-11s%-7s%10s%10s%10s  %s\n", "bench", "cfg", "total", "fence", "others", "bar (#=fence stalls, -=others)"))
+	for _, g := range groups {
+		for _, bar := range g.Bars {
+			sb.WriteString(fmt.Sprintf("%-11s%-7s%10.3f%10.3f%10.3f  %s\n",
+				g.Bench, bar.Label, bar.Total(), bar.FenceStall, bar.Others, asciiBar(bar)))
+		}
+	}
+	return sb.String()
+}
+
+// asciiBar draws a stacked bar scaled to 50 chars per normalized unit.
+func asciiBar(b Bar) string {
+	const scale = 50
+	fence := int(b.FenceStall*scale + 0.5)
+	others := int(b.Others*scale + 0.5)
+	return strings.Repeat("#", fence) + strings.Repeat("-", others)
+}
+
+// RenderAblation formats an ablation sweep.
+func RenderAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	sb.WriteString(fmt.Sprintf("%-22s%-14s%8s%12s%12s\n", "bench", "param", "value", "cycles", "stall-frac"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-22s%-14s%8d%12d%12.3f\n", r.Bench, r.Param, r.Value, r.Cycles, r.Stall))
+	}
+	return sb.String()
+}
+
+// RenderTableIII formats the architectural-parameter table.
+func RenderTableIII(cfg machine.Config) string {
+	var sb strings.Builder
+	sb.WriteString("Table III — Architectural parameters\n")
+	for _, row := range TableIII(cfg) {
+		sb.WriteString(fmt.Sprintf("  %-20s %s\n", row.Parameter, row.Value))
+	}
+	return sb.String()
+}
+
+// RenderTableIV formats the benchmark-description table.
+func RenderTableIV() string {
+	var sb strings.Builder
+	sb.WriteString("Table IV — Benchmark description\n")
+	sb.WriteString(fmt.Sprintf("  %-11s%-7s%-11s%s\n", "bench", "type", "group", "description"))
+	for _, info := range TableIV() {
+		sb.WriteString(fmt.Sprintf("  %-11s%-7s%-11s%s\n", info.Name, info.ScopeType, info.Group, info.Description))
+	}
+	return sb.String()
+}
+
+// RenderHardwareCost formats the Section VI-E cost model.
+func RenderHardwareCost(rep HardwareCostReport) string {
+	var sb strings.Builder
+	sb.WriteString("Section VI-E — Hardware cost per core\n")
+	sb.WriteString(fmt.Sprintf("  ROB FSB bits:      %d\n", rep.ROBFSBBits))
+	sb.WriteString(fmt.Sprintf("  SB FSB bits:       %d\n", rep.SBFSBBits))
+	sb.WriteString(fmt.Sprintf("  Mapping table bits: %d\n", rep.MappingBits))
+	sb.WriteString(fmt.Sprintf("  FSS + FSS' bits:   %d\n", rep.FSSBits))
+	sb.WriteString(fmt.Sprintf("  Total:             %d bits = %.1f bytes (paper claim <80B: %v)\n",
+		rep.TotalBits, rep.TotalBytes, rep.PaperClaimOK))
+	return sb.String()
+}

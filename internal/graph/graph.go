@@ -1,0 +1,158 @@
+// Package graph provides the synthetic graph substrate for the parallel
+// spanning tree (pst) and parallel transitive closure (ptc) benchmarks:
+// deterministic random connected graphs in CSR form, plus verifiers for
+// spanning trees and reachability closures.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected graph in compressed-sparse-row form.
+type Graph struct {
+	V      int
+	RowPtr []int32 // len V+1
+	Col    []int32 // len RowPtr[V]
+}
+
+// Edges returns the number of directed edge slots (2x undirected edges).
+func (g *Graph) Edges() int { return len(g.Col) }
+
+// Neighbors returns the adjacency list of v.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// RandomConnected builds a deterministic random connected graph: a random
+// spanning tree (guaranteeing connectivity) plus extra random edges up to
+// the requested average degree.
+func RandomConnected(v int, avgDegree float64, seed int64) (*Graph, error) {
+	if v < 2 {
+		return nil, fmt.Errorf("graph: need at least 2 vertices, got %d", v)
+	}
+	if avgDegree < 2 {
+		return nil, fmt.Errorf("graph: average degree %v must be >= 2 (tree edges alone use ~2)", avgDegree)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([]map[int32]bool, v)
+	for i := range adj {
+		adj[i] = make(map[int32]bool)
+	}
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	// Random spanning tree via a random attachment order.
+	perm := rng.Perm(v)
+	for i := 1; i < v; i++ {
+		a := int32(perm[i])
+		b := int32(perm[rng.Intn(i)])
+		addEdge(a, b)
+	}
+	// Extra edges to reach the target degree.
+	target := int(avgDegree * float64(v) / 2)
+	for e := v - 1; e < target; e++ {
+		addEdge(int32(rng.Intn(v)), int32(rng.Intn(v)))
+	}
+	g := &Graph{V: v, RowPtr: make([]int32, v+1)}
+	for i := 0; i < v; i++ {
+		g.RowPtr[i+1] = g.RowPtr[i] + int32(len(adj[i]))
+	}
+	g.Col = make([]int32, g.RowPtr[v])
+	for i := 0; i < v; i++ {
+		at := g.RowPtr[i]
+		// Deterministic neighbor order: ascending.
+		nbs := make([]int32, 0, len(adj[i]))
+		for nb := range adj[i] {
+			nbs = append(nbs, nb)
+		}
+		for x := 1; x < len(nbs); x++ {
+			for y := x; y > 0 && nbs[y-1] > nbs[y]; y-- {
+				nbs[y-1], nbs[y] = nbs[y], nbs[y-1]
+			}
+		}
+		copy(g.Col[at:], nbs)
+	}
+	return g, nil
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b int32) bool {
+	for _, nb := range g.Neighbors(int(a)) {
+		if nb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifySpanningTree checks that parent[] encodes a spanning tree of g
+// rooted at root: every vertex reaches root through parent edges that
+// exist in g, with no cycles.
+func VerifySpanningTree(g *Graph, root int32, parent []int64) error {
+	if len(parent) < g.V {
+		return fmt.Errorf("graph: parent array too short: %d < %d", len(parent), g.V)
+	}
+	state := make([]uint8, g.V) // 0 unvisited, 1 in progress, 2 ok
+	var walk func(v int32) error
+	walk = func(v int32) error {
+		switch state[v] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("graph: cycle through vertex %d", v)
+		}
+		state[v] = 1
+		if v != root {
+			p := int32(parent[v])
+			if p < 0 || int(p) >= g.V {
+				return fmt.Errorf("graph: vertex %d has invalid parent %d", v, p)
+			}
+			if !g.HasEdge(v, p) {
+				return fmt.Errorf("graph: parent edge (%d,%d) not in graph", v, p)
+			}
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		state[v] = 2
+		return nil
+	}
+	for v := 0; v < g.V; v++ {
+		if err := walk(int32(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReachClosure computes the reference fixpoint for the ptc benchmark:
+// reach[v] is the bitmask of sources that can reach v (undirected, so
+// membership in the source's connected component).
+func ReachClosure(g *Graph, sources []int32) []int64 {
+	reach := make([]int64, g.V)
+	for i, s := range sources {
+		reach[s] |= 1 << uint(i)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.V; v++ {
+			rv := reach[v]
+			if rv == 0 {
+				continue
+			}
+			for _, nb := range g.Neighbors(v) {
+				if reach[nb]|rv != reach[nb] {
+					reach[nb] |= rv
+					changed = true
+				}
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomConnectedStructure(t *testing.T) {
+	g, err := RandomConnected(100, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.V != 100 {
+		t.Errorf("V = %d", g.V)
+	}
+	// Symmetric adjacency.
+	for v := 0; v < g.V; v++ {
+		for _, nb := range g.Neighbors(v) {
+			if !g.HasEdge(nb, int32(v)) {
+				t.Fatalf("edge (%d,%d) not symmetric", v, nb)
+			}
+			if int(nb) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+	// Connected: BFS reaches all.
+	seen := make([]bool, g.V)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(int(v)) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if count != g.V {
+		t.Errorf("graph not connected: reached %d of %d", count, g.V)
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a, _ := RandomConnected(64, 4, 7)
+	b, _ := RandomConnected(64, 4, 7)
+	if len(a.Col) != len(b.Col) {
+		t.Fatal("different edge counts for same seed")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("different adjacency for same seed")
+		}
+	}
+}
+
+func TestRandomConnectedRejectsBadArgs(t *testing.T) {
+	if _, err := RandomConnected(1, 4, 0); err == nil {
+		t.Error("1-vertex graph accepted")
+	}
+	if _, err := RandomConnected(10, 1, 0); err == nil {
+		t.Error("degree 1 accepted")
+	}
+}
+
+func TestVerifySpanningTreeAcceptsBFSTree(t *testing.T) {
+	g, _ := RandomConnected(200, 5, 3)
+	parent := make([]int64, g.V)
+	seen := make([]bool, g.V)
+	queue := []int32{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(int(v)) {
+			if !seen[nb] {
+				seen[nb] = true
+				parent[nb] = int64(v)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if err := VerifySpanningTree(g, 0, parent); err != nil {
+		t.Errorf("valid BFS tree rejected: %v", err)
+	}
+}
+
+func TestVerifySpanningTreeRejectsCycle(t *testing.T) {
+	g, _ := RandomConnected(10, 4, 3)
+	parent := make([]int64, g.V)
+	// Find two adjacent vertices and make them each other's parent.
+	a := int32(1)
+	b := g.Neighbors(1)[0]
+	parent[a] = int64(b)
+	parent[b] = int64(a)
+	if err := VerifySpanningTree(g, 0, parent); err == nil {
+		t.Error("cyclic parent structure accepted")
+	}
+}
+
+func TestVerifySpanningTreeRejectsNonEdgeParent(t *testing.T) {
+	g, _ := RandomConnected(50, 3, 9)
+	parent := make([]int64, g.V)
+	// Point some vertex at a non-neighbor.
+	var victim, nonNb int32 = -1, -1
+	for v := int32(1); v < int32(g.V); v++ {
+		for w := int32(0); w < int32(g.V); w++ {
+			if w != v && !g.HasEdge(v, w) {
+				victim, nonNb = v, w
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("graph too dense for the test")
+	}
+	parent[victim] = int64(nonNb)
+	if err := VerifySpanningTree(g, 0, parent); err == nil {
+		t.Error("non-edge parent accepted")
+	}
+}
+
+func TestReachClosureSingleSourceCoversComponent(t *testing.T) {
+	g, _ := RandomConnected(128, 4, 11)
+	reach := ReachClosure(g, []int32{5})
+	for v := 0; v < g.V; v++ {
+		if reach[v] != 1 {
+			t.Fatalf("connected graph: vertex %d not reached (%b)", v, reach[v])
+		}
+	}
+}
+
+func TestReachClosureMultipleSources(t *testing.T) {
+	g, _ := RandomConnected(64, 4, 13)
+	reach := ReachClosure(g, []int32{1, 2, 3})
+	for v := 0; v < g.V; v++ {
+		if reach[v] != 0b111 {
+			t.Fatalf("vertex %d reach = %b, want 111 (connected graph)", v, reach[v])
+		}
+	}
+}
+
+// Property: generated graphs have no duplicate neighbors and sorted
+// adjacency (the generator's contract).
+func TestAdjacencySortedUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := RandomConnected(50, 4, seed)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.V; v++ {
+			nbs := g.Neighbors(v)
+			for i := 1; i < len(nbs); i++ {
+				if nbs[i-1] >= nbs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Program. It supports forward label references,
+// named entry points, and macro inlining with label scoping so the same
+// function body can be expanded at several call sites without label
+// collisions.
+//
+// All emit methods return the Builder to allow chaining, but chaining is
+// optional. Errors (duplicate labels, unresolved references) are gathered
+// and reported by Build.
+type Builder struct {
+	code    []Instruction
+	labels  map[string]int
+	refs    []labelRef
+	entries map[string]int
+	scopes  []string // label-scope prefixes for inlining
+	nextID  int
+	errs    []error
+
+	// pendingSetFlag marks the next emitted memory instruction as
+	// belonging to the set scope.
+	pendingSetFlag bool
+}
+
+type labelRef struct {
+	pc    int    // instruction whose Imm needs patching
+	label string // fully-qualified label name
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels:  make(map[string]int),
+		entries: make(map[string]int),
+	}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("isa: "+format, args...))
+}
+
+// qualify applies the current label scope prefix.
+func (b *Builder) qualify(label string) string {
+	if len(b.scopes) == 0 {
+		return label
+	}
+	return b.scopes[len(b.scopes)-1] + label
+}
+
+// Label defines a label at the current position. Labels are local to the
+// current inline expansion (if any).
+func (b *Builder) Label(name string) *Builder {
+	q := b.qualify(name)
+	if _, dup := b.labels[q]; dup {
+		b.errorf("duplicate label %q", q)
+		return b
+	}
+	b.labels[q] = len(b.code)
+	return b
+}
+
+// Entry defines a named entry point at the current position. Entry points
+// are global (never scoped by inlining).
+func (b *Builder) Entry(name string) *Builder {
+	if _, dup := b.entries[name]; dup {
+		b.errorf("duplicate entry %q", name)
+		return b
+	}
+	b.entries[name] = len(b.code)
+	return b
+}
+
+// Inline expands the macro body with a fresh label scope, so labels defined
+// inside the body are private to this expansion.
+func (b *Builder) Inline(body func(*Builder)) *Builder {
+	b.nextID++
+	b.scopes = append(b.scopes, fmt.Sprintf("$%d.", b.nextID))
+	body(b)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	return b
+}
+
+func (b *Builder) emit(in Instruction) *Builder {
+	if b.pendingSetFlag {
+		if !in.IsMem() {
+			b.errorf("SetFlagged applied to non-memory instruction %s", in.Op)
+		}
+		in.SetFlag = true
+		b.pendingSetFlag = false
+	}
+	b.code = append(b.code, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op Op, rs1, rs2 Reg, label string) *Builder {
+	b.refs = append(b.refs, labelRef{pc: len(b.code), label: b.qualify(label)})
+	return b.emit(Instruction{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// SetFlagged marks the next emitted memory instruction as a set-scope
+// access (the paper's compiler flagging of accesses to the fence's
+// variable set).
+func (b *Builder) SetFlagged() *Builder {
+	b.pendingSetFlag = true
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instruction{Op: OpNop}) }
+
+// Halt emits a halt; the core stops fetching and drains.
+func (b *Builder) Halt() *Builder { return b.emit(Instruction{Op: OpHalt}) }
+
+// MovI emits rd = imm.
+func (b *Builder) MovI(rd Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpMovI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = rs (encoded as addi rd, rs, 0).
+func (b *Builder) Mov(rd, rs Reg) *Builder {
+	return b.emit(Instruction{Op: OpAddI, Rd: rd, Rs1: rs})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// AddI emits rd = rs1 + imm.
+func (b *Builder) AddI(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpAddI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpSub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Div emits rd = rs1 / rs2 (0 when rs2 == 0).
+func (b *Builder) Div(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Rem emits rd = rs1 % rs2 (0 when rs2 == 0).
+func (b *Builder) Rem(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpRem, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// AndI emits rd = rs1 & imm.
+func (b *Builder) AndI(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpAndI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpOr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpXor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// XorI emits rd = rs1 ^ imm.
+func (b *Builder) XorI(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpXorI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shl emits rd = rs1 << (rs2 & 63).
+func (b *Builder) Shl(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpShl, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ShlI emits rd = rs1 << (imm & 63).
+func (b *Builder) ShlI(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpShlI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shr emits rd = rs1 >> (rs2 & 63) (arithmetic).
+func (b *Builder) Shr(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpShr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ShrI emits rd = rs1 >> (imm & 63) (arithmetic).
+func (b *Builder) ShrI(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpShrI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Slt emits rd = (rs1 < rs2) signed.
+func (b *Builder) Slt(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpSlt, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// SltI emits rd = (rs1 < imm) signed.
+func (b *Builder) SltI(rd, rs1 Reg, imm int64) *Builder {
+	return b.emit(Instruction{Op: OpSltI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Seq emits rd = (rs1 == rs2).
+func (b *Builder) Seq(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpSeq, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Load emits rd = mem[rs1 + disp].
+func (b *Builder) Load(rd, rs1 Reg, disp int64) *Builder {
+	return b.emit(Instruction{Op: OpLoad, Rd: rd, Rs1: rs1, Imm: disp})
+}
+
+// Store emits mem[rs1 + disp] = rs2.
+func (b *Builder) Store(rs1 Reg, disp int64, rs2 Reg) *Builder {
+	return b.emit(Instruction{Op: OpStore, Rs1: rs1, Imm: disp, Rs2: rs2})
+}
+
+// CAS emits rd = CAS(mem[rs1+disp], old=rs2, new=rs3).
+func (b *Builder) CAS(rd, rs1 Reg, disp int64, old, new Reg) *Builder {
+	return b.emit(Instruction{Op: OpCAS, Rd: rd, Rs1: rs1, Imm: disp, Rs2: old, Rs3: new})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.refs = append(b.refs, labelRef{pc: len(b.code), label: b.qualify(label)})
+	return b.emit(Instruction{Op: OpJmp})
+}
+
+// Beq emits: if rs1 == rs2 goto label.
+func (b *Builder) Beq(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(OpBeq, rs1, rs2, label)
+}
+
+// Bne emits: if rs1 != rs2 goto label.
+func (b *Builder) Bne(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(OpBne, rs1, rs2, label)
+}
+
+// Blt emits: if rs1 < rs2 goto label (signed).
+func (b *Builder) Blt(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(OpBlt, rs1, rs2, label)
+}
+
+// Bge emits: if rs1 >= rs2 goto label (signed).
+func (b *Builder) Bge(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(OpBge, rs1, rs2, label)
+}
+
+// Fence emits a full-order fence with the given scope. ScopeGlobal is a
+// traditional full fence; ScopeClass and ScopeSet are the paper's S-Fence
+// variants.
+func (b *Builder) Fence(scope ScopeKind) *Builder {
+	return b.emit(Instruction{Op: OpFence, Scope: scope})
+}
+
+// FenceOrdered emits a fence with an explicit ordering kind, combining
+// fence scoping with finer fences (e.g. a scoped store-store fence).
+func (b *Builder) FenceOrdered(scope ScopeKind, order FenceOrder) *Builder {
+	return b.emit(Instruction{Op: OpFence, Scope: scope, Order: order})
+}
+
+// FsStart emits fs_start cid, opening a class scope.
+func (b *Builder) FsStart(cid int64) *Builder {
+	return b.emit(Instruction{Op: OpFsStart, Imm: cid})
+}
+
+// FsEnd emits fs_end cid, closing a class scope.
+func (b *Builder) FsEnd(cid int64) *Builder {
+	return b.emit(Instruction{Op: OpFsEnd, Imm: cid})
+}
+
+// Build resolves all label references and returns the assembled program.
+func (b *Builder) Build() (*Program, error) {
+	if b.pendingSetFlag {
+		b.errorf("dangling SetFlagged at end of program")
+	}
+	for _, ref := range b.refs {
+		target, ok := b.labels[ref.label]
+		if !ok {
+			b.errorf("undefined label %q referenced at pc %d", ref.label, ref.pc)
+			continue
+		}
+		b.code[ref.pc].Imm = int64(target)
+	}
+	if len(b.errs) > 0 {
+		// Deterministic error report: join sorted messages.
+		msgs := make([]string, len(b.errs))
+		for i, e := range b.errs {
+			msgs[i] = e.Error()
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("isa: %d assembly error(s), first: %s", len(msgs), msgs[0])
+	}
+	code := make([]Instruction, len(b.code))
+	copy(code, b.code)
+	entries := make(map[string]int, len(b.entries))
+	for k, v := range b.entries {
+		entries[k] = v
+	}
+	return &Program{Code: code, Entries: entries}, nil
+}
+
+// MustBuild is Build that panics on error; for statically-known kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

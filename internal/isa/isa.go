@@ -1,0 +1,367 @@
+// Package isa defines the mini instruction set executed by the simulated
+// cores, together with an assembler (Builder) for constructing programs.
+//
+// The ISA is a small RISC-like register machine:
+//
+//   - 64 general-purpose 64-bit integer registers; R0 is hardwired to zero.
+//   - Word-granular memory: every load/store moves one 64-bit word and the
+//     byte address must be 8-byte aligned.
+//   - Explicit fence instructions carrying a scope (global, class, or set)
+//     as proposed by the Fence Scoping paper (Lin et al., SC '14).
+//   - fs_start/fs_end scope-bracketing instructions, the paper's compiler
+//     support for class scope.
+//   - An atomic compare-and-swap that does not imply a fence (RMO).
+//
+// There are no call/ret instructions: the Builder inlines function bodies
+// (see Builder.Inline), which both sidesteps return-address speculation in
+// the core model and matches how the small, hot lock-free methods the paper
+// studies are compiled in practice. fs_start/fs_end still bracket each
+// inlined body, so nested class scopes arise naturally.
+package isa
+
+import "fmt"
+
+// Reg names one of the 64 architectural registers. R0 always reads zero and
+// writes to it are discarded.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 64
+
+// Register name constants. R0 is the hardwired zero register.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+	R32
+	R33
+	R34
+	R35
+	R36
+	R37
+	R38
+	R39
+	R40
+	R41
+	R42
+	R43
+	R44
+	R45
+	R46
+	R47
+	R48
+	R49
+	R50
+	R51
+	R52
+	R53
+	R54
+	R55
+	R56
+	R57
+	R58
+	R59
+	R60
+	R61
+	R62
+	R63
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode values.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// ALU operations. Rd = Rs1 <op> Rs2 unless noted.
+	OpMovI // Rd = Imm
+	OpAdd
+	OpAddI // Rd = Rs1 + Imm
+	OpSub
+	OpMul
+	OpDiv // Rd = Rs1 / Rs2; division by zero yields 0
+	OpRem // Rd = Rs1 % Rs2; modulo by zero yields 0
+	OpAnd
+	OpAndI // Rd = Rs1 & Imm
+	OpOr
+	OpXor
+	OpXorI // Rd = Rs1 ^ Imm
+	OpShl  // Rd = Rs1 << (Rs2 & 63)
+	OpShlI // Rd = Rs1 << (Imm & 63)
+	OpShr  // Rd = int64(Rs1) >> (Rs2 & 63) (arithmetic)
+	OpShrI
+	OpSlt  // Rd = 1 if Rs1 < Rs2 else 0 (signed)
+	OpSltI // Rd = 1 if Rs1 < Imm else 0 (signed)
+	OpSeq  // Rd = 1 if Rs1 == Rs2 else 0
+
+	// Memory operations. Effective address = Rs1 + Imm (bytes).
+	OpLoad  // Rd = mem[Rs1+Imm]
+	OpStore // mem[Rs1+Imm] = Rs2
+	OpCAS   // atomically: if mem[Rs1+Imm]==Rs2 { mem[...]=Rs3; Rd=1 } else { Rd=0 }
+
+	// Control flow. Target is Imm (an absolute instruction index after
+	// assembly; a label during building).
+	OpJmp
+	OpBeq // if Rs1 == Rs2 goto target
+	OpBne
+	OpBlt // signed <
+	OpBge // signed >=
+
+	// Fences and scope bracketing (the paper's ISA extension).
+	OpFence   // scope in Scope field; a global-scope fence is a traditional full fence
+	OpFsStart // start of class scope; class id (cid) in Imm
+	OpFsEnd   // end of class scope; cid in Imm
+
+	numOps // sentinel
+)
+
+// ScopeKind selects which scope an OpFence orders, mirroring the three
+// customized fence statements of the paper (Fig. 4).
+type ScopeKind uint8
+
+const (
+	// ScopeGlobal is a traditional full fence: all prior memory accesses
+	// must complete before any later access is issued.
+	ScopeGlobal ScopeKind = iota
+	// ScopeClass orders only accesses made inside the current class scope
+	// (the innermost active fs_start/fs_end bracket, including nested
+	// scopes entered from it).
+	ScopeClass
+	// ScopeSet orders only memory accesses whose instructions carry the
+	// SetFlag bit (the compiler-flagged accesses to the fence's variable
+	// set).
+	ScopeSet
+)
+
+func (k ScopeKind) String() string {
+	switch k {
+	case ScopeGlobal:
+		return "global"
+	case ScopeClass:
+		return "class"
+	case ScopeSet:
+		return "set"
+	}
+	return fmt.Sprintf("ScopeKind(%d)", uint8(k))
+}
+
+// FenceOrder selects which access pair a fence orders — the combination of
+// fence scoping with the "finer fences" of commercial ISAs that Section
+// VII of the paper describes as complementary (mfence/sfence, SPARC
+// MEMBAR variants).
+type FenceOrder uint8
+
+const (
+	// OrderFull orders all prior in-scope accesses before all later
+	// accesses (the paper's default S-Fence semantics).
+	OrderFull FenceOrder = iota
+	// OrderSS is a store-store fence: prior in-scope stores must complete
+	// before any later store becomes visible; later loads may pass it
+	// freely (like SPARC MEMBAR #StoreStore or the storestore fence in
+	// the paper's Fig. 2 put()).
+	OrderSS
+	// OrderLL is a load-load fence: prior in-scope loads must complete
+	// before any later access issues; prior stores (and the store
+	// buffer) are not waited for (like SPARC MEMBAR #LoadLoad; what the
+	// Chase-Lev steal() needs under RMO).
+	OrderLL
+)
+
+func (o FenceOrder) String() string {
+	switch o {
+	case OrderFull:
+		return "full"
+	case OrderSS:
+		return "ss"
+	case OrderLL:
+		return "ll"
+	}
+	return fmt.Sprintf("FenceOrder(%d)", uint8(o))
+}
+
+// Instruction is one decoded instruction. The zero value is a Nop.
+type Instruction struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Rs3 Reg // CAS new-value register
+
+	// Imm holds the immediate operand: ALU immediate, load/store byte
+	// displacement, branch/jump target (instruction index), or fs_start/
+	// fs_end class id.
+	Imm int64
+
+	// Scope is the fence scope for OpFence.
+	Scope ScopeKind
+
+	// Order is the fence ordering kind for OpFence (full or
+	// store-store).
+	Order FenceOrder
+
+	// SetFlag marks a load/store/CAS as belonging to the set scope: the
+	// ISA-level encoding of the paper's "instructions flagging memory
+	// operations" (Table II).
+	SetFlag bool
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Instruction) IsMem() bool {
+	return in.Op == OpLoad || in.Op == OpStore || in.Op == OpCAS
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in *Instruction) IsBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// Writes reports whether the instruction writes register Rd.
+func (in *Instruction) Writes() bool {
+	switch in.Op {
+	case OpMovI, OpAdd, OpAddI, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpAndI,
+		OpOr, OpXor, OpXorI, OpShl, OpShlI, OpShr, OpShrI, OpSlt, OpSltI,
+		OpSeq, OpLoad, OpCAS:
+		return in.Rd != R0
+	}
+	return false
+}
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpMovI: "movi", OpAdd: "add", OpAddI: "addi", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpAndI: "andi", OpOr: "or", OpXor: "xor", OpXorI: "xori",
+	OpShl: "shl", OpShlI: "shli", OpShr: "shr", OpShrI: "shri",
+	OpSlt: "slt", OpSltI: "slti", OpSeq: "seq",
+	OpLoad: "load", OpStore: "store", OpCAS: "cas",
+	OpJmp: "jmp", OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpFence: "fence", OpFsStart: "fs_start", OpFsEnd: "fs_end",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// String renders the instruction in a compact assembly-like syntax.
+func (in Instruction) String() string {
+	flag := ""
+	if in.SetFlag {
+		flag = ".set"
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm)
+	case OpAddI, OpAndI, OpXorI, OpShlI, OpShrI, OpSltI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt, OpSeq:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpLoad:
+		return fmt.Sprintf("load%s r%d, [r%d+%d]", flag, in.Rd, in.Rs1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store%s [r%d+%d], r%d", flag, in.Rs1, in.Imm, in.Rs2)
+	case OpCAS:
+		return fmt.Sprintf("cas%s r%d, [r%d+%d], r%d, r%d", flag, in.Rd, in.Rs1, in.Imm, in.Rs2, in.Rs3)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case OpFence:
+		if in.Order != OrderFull {
+			return fmt.Sprintf("fence.%s.%s", in.Scope, in.Order)
+		}
+		return fmt.Sprintf("fence.%s", in.Scope)
+	case OpFsStart:
+		return fmt.Sprintf("fs_start %d", in.Imm)
+	case OpFsEnd:
+		return fmt.Sprintf("fs_end %d", in.Imm)
+	}
+	return fmt.Sprintf("op%d", in.Op)
+}
+
+// Program is an assembled instruction sequence. Threads may start at
+// different entry points within the same program.
+type Program struct {
+	Code []Instruction
+
+	// Entries maps entry-point names to instruction indices; populated by
+	// Builder.Entry.
+	Entries map[string]int
+}
+
+// Entry returns the instruction index of a named entry point.
+func (p *Program) Entry(name string) (int, error) {
+	pc, ok := p.Entries[name]
+	if !ok {
+		return 0, fmt.Errorf("isa: no entry point %q", name)
+	}
+	return pc, nil
+}
+
+// MustEntry is like Entry but panics on unknown names; intended for
+// statically-known kernels and tests.
+func (p *Program) MustEntry(name string) int {
+	pc, err := p.Entry(name)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+// Disassemble renders the whole program with instruction indices, for
+// debugging and golden tests.
+func (p *Program) Disassemble() string {
+	out := make([]byte, 0, len(p.Code)*24)
+	rev := map[int]string{}
+	for name, pc := range p.Entries {
+		if prev, ok := rev[pc]; !ok || name < prev {
+			rev[pc] = name
+		}
+	}
+	for i, in := range p.Code {
+		if name, ok := rev[i]; ok {
+			out = append(out, fmt.Sprintf("%s:\n", name)...)
+		}
+		out = append(out, fmt.Sprintf("%5d  %s\n", i, in.String())...)
+	}
+	return string(out)
+}

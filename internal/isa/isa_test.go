@@ -1,0 +1,242 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderResolvesForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.Label("top")
+	b.MovI(R1, 1)
+	b.Beq(R1, R0, "end") // forward
+	b.Jmp("top")         // backward
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := p.Code[1].Imm; got != 3 {
+		t.Errorf("forward branch target = %d, want 3", got)
+	}
+	if got := p.Code[2].Imm; got != 0 {
+		t.Errorf("backward jump target = %d, want 0", got)
+	}
+	if pc := p.MustEntry("main"); pc != 0 {
+		t.Errorf("entry main = %d, want 0", pc)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with duplicate label")
+	}
+}
+
+func TestBuilderDuplicateEntry(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("e").Nop().Entry("e")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with duplicate entry")
+	}
+}
+
+func TestInlineScopesLabels(t *testing.T) {
+	loopBody := func(b *Builder) {
+		b.Label("loop")
+		b.AddI(R1, R1, 1)
+		b.Blt(R1, R2, "loop")
+	}
+	b := NewBuilder()
+	b.MovI(R1, 0)
+	b.MovI(R2, 3)
+	b.Inline(loopBody)
+	b.Inline(loopBody) // same labels again: must not collide
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build with repeated inline: %v", err)
+	}
+	// First expansion's branch targets its own loop head (pc 2), second
+	// expansion's branch targets pc 4.
+	if p.Code[3].Imm != 2 {
+		t.Errorf("first inline branch target = %d, want 2", p.Code[3].Imm)
+	}
+	if p.Code[5].Imm != 4 {
+		t.Errorf("second inline branch target = %d, want 4", p.Code[5].Imm)
+	}
+}
+
+func TestInlineNesting(t *testing.T) {
+	inner := func(b *Builder) {
+		b.Label("l")
+		b.Jmp("l")
+	}
+	outer := func(b *Builder) {
+		b.Label("l") // same name as inner's label
+		b.Inline(inner)
+		b.Jmp("l")
+	}
+	b := NewBuilder()
+	b.Inline(outer)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build nested inline: %v", err)
+	}
+	if p.Code[0].Imm != 0 { // inner jmp -> inner label
+		t.Errorf("inner jmp target = %d, want 0", p.Code[0].Imm)
+	}
+	if p.Code[1].Imm != 0 { // outer jmp -> outer label (also pc 0)
+		t.Errorf("outer jmp target = %d, want 0", p.Code[1].Imm)
+	}
+}
+
+func TestSetFlaggedAppliesToNextMemOp(t *testing.T) {
+	b := NewBuilder()
+	b.SetFlagged().Load(R1, R2, 8)
+	b.Store(R2, 0, R1)
+	b.SetFlagged().CAS(R3, R2, 0, R1, R4)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !p.Code[0].SetFlag {
+		t.Error("flagged load lost SetFlag")
+	}
+	if p.Code[1].SetFlag {
+		t.Error("unflagged store gained SetFlag")
+	}
+	if !p.Code[2].SetFlag {
+		t.Error("flagged CAS lost SetFlag")
+	}
+}
+
+func TestSetFlaggedOnNonMemoryIsError(t *testing.T) {
+	b := NewBuilder()
+	b.SetFlagged().AddI(R1, R1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with SetFlagged on ALU op")
+	}
+}
+
+func TestDanglingSetFlaggedIsError(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.SetFlagged()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with dangling SetFlagged")
+	}
+}
+
+func TestInstructionClassPredicates(t *testing.T) {
+	cases := []struct {
+		in     Instruction
+		mem    bool
+		branch bool
+		writes bool
+	}{
+		{Instruction{Op: OpLoad, Rd: R1}, true, false, true},
+		{Instruction{Op: OpLoad, Rd: R0}, true, false, false}, // writes to R0 discarded
+		{Instruction{Op: OpStore}, true, false, false},
+		{Instruction{Op: OpCAS, Rd: R2}, true, false, true},
+		{Instruction{Op: OpBeq}, false, true, false},
+		{Instruction{Op: OpBge}, false, true, false},
+		{Instruction{Op: OpJmp}, false, false, false},
+		{Instruction{Op: OpAdd, Rd: R3}, false, false, true},
+		{Instruction{Op: OpFence}, false, false, false},
+		{Instruction{Op: OpFsStart}, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.IsMem(); got != c.mem {
+			t.Errorf("%s IsMem = %v, want %v", c.in.Op, got, c.mem)
+		}
+		if got := c.in.IsBranch(); got != c.branch {
+			t.Errorf("%s IsBranch = %v, want %v", c.in.Op, got, c.branch)
+		}
+		if got := c.in.Writes(); got != c.writes {
+			t.Errorf("%s Writes = %v, want %v", c.in.Op, got, c.writes)
+		}
+	}
+}
+
+func TestScopeKindString(t *testing.T) {
+	if ScopeGlobal.String() != "global" || ScopeClass.String() != "class" || ScopeSet.String() != "set" {
+		t.Error("ScopeKind String mismatch")
+	}
+	if !strings.Contains(ScopeKind(9).String(), "9") {
+		t.Error("unknown ScopeKind String should include numeric value")
+	}
+}
+
+func TestDisassembleContainsEntriesAndOps(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.MovI(R1, 42)
+	b.SetFlagged().Store(R2, 16, R1)
+	b.Fence(ScopeSet)
+	b.FsStart(7)
+	b.Fence(ScopeClass)
+	b.FsEnd(7)
+	b.Halt()
+	p := b.MustBuild()
+	d := p.Disassemble()
+	for _, want := range []string{"main:", "movi r1, 42", "store.set [r2+16], r1", "fence.set", "fs_start 7", "fence.class", "fs_end 7", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestProgramEntryUnknown(t *testing.T) {
+	p := &Program{Entries: map[string]int{}}
+	if _, err := p.Entry("missing"); err == nil {
+		t.Fatal("Entry returned nil error for unknown name")
+	}
+}
+
+// Property: every opcode has a non-placeholder String, and every
+// instruction String is non-empty.
+func TestOpStringsTotal(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "Op(") {
+			t.Errorf("op %d has placeholder name %q", op, s)
+		}
+	}
+}
+
+// Property-based: label resolution is position-independent — prepending
+// nops shifts all branch targets by exactly the prefix length.
+func TestLabelResolutionShiftInvariant(t *testing.T) {
+	f := func(prefix uint8) bool {
+		n := int(prefix % 32)
+		b := NewBuilder()
+		for i := 0; i < n; i++ {
+			b.Nop()
+		}
+		b.Label("t")
+		b.AddI(R1, R1, 1)
+		b.Bne(R1, R2, "t")
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return p.Code[n+1].Imm == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

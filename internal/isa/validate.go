@@ -1,0 +1,101 @@
+package isa
+
+import "fmt"
+
+// Validate checks the structural well-formedness a correct compiler must
+// guarantee (Section IV's compiler support):
+//
+//   - every branch/jump target is inside the program,
+//   - register indices are in range,
+//   - class-scope brackets are balanced along every control-flow path:
+//     each reachable pc has one consistent fs_start/fs_end nesting depth,
+//     no fs_end appears at depth zero, and no halt (or fall-off-the-end)
+//     occurs inside an open scope.
+//
+// The check is a depth-flow analysis over the CFG from every entry point.
+func (p *Program) Validate() error {
+	depth := make([]int, len(p.Code)+1) // +1: the implicit-halt pc
+	seen := make([]bool, len(p.Code)+1)
+
+	for i, in := range p.Code {
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs || in.Rs3 >= NumRegs {
+			return fmt.Errorf("isa: pc %d: register out of range in %s", i, in)
+		}
+		if in.Op == OpJmp || in.IsBranch() {
+			if in.Imm < 0 || in.Imm > int64(len(p.Code)) {
+				return fmt.Errorf("isa: pc %d: control target %d out of range", i, in.Imm)
+			}
+		}
+	}
+
+	type node struct {
+		pc, depth int
+	}
+	var stack []node
+	for _, pc := range p.Entries {
+		stack = append(stack, node{pc, 0})
+	}
+	if len(stack) == 0 && len(p.Code) > 0 {
+		stack = append(stack, node{0, 0})
+	}
+	push := func(pc, d int) error {
+		if pc >= len(p.Code) { // implicit halt
+			if d != 0 {
+				return fmt.Errorf("isa: program can run off the end inside %d open class scope(s)", d)
+			}
+			return nil
+		}
+		if seen[pc] {
+			if depth[pc] != d {
+				return fmt.Errorf("isa: pc %d reachable at scope depths %d and %d (unbalanced fs_start/fs_end)", pc, depth[pc], d)
+			}
+			return nil
+		}
+		seen[pc] = true
+		depth[pc] = d
+		stack = append(stack, node{pc, d})
+		return nil
+	}
+	// Seed entries through push for consistent bookkeeping.
+	entrySeeds := stack
+	stack = nil
+	for _, n := range entrySeeds {
+		if err := push(n.pc, n.depth); err != nil {
+			return err
+		}
+	}
+
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		in := p.Code[n.pc]
+		d := n.depth
+		switch in.Op {
+		case OpHalt:
+			if d != 0 {
+				return fmt.Errorf("isa: pc %d: halt inside %d open class scope(s)", n.pc, d)
+			}
+			continue
+		case OpFsStart:
+			d++
+		case OpFsEnd:
+			if d == 0 {
+				return fmt.Errorf("isa: pc %d: fs_end with no open scope", n.pc)
+			}
+			d--
+		case OpJmp:
+			if err := push(int(in.Imm), d); err != nil {
+				return err
+			}
+			continue
+		case OpBeq, OpBne, OpBlt, OpBge:
+			if err := push(int(in.Imm), d); err != nil {
+				return err
+			}
+		}
+		if err := push(n.pc+1, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsBalancedProgram(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.MovI(R1, 3)
+	b.Label("loop")
+	b.FsStart(1)
+	b.Store(R2, 0, R1)
+	b.Fence(ScopeClass)
+	b.FsStart(2)
+	b.Load(R3, R2, 0)
+	b.FsEnd(2)
+	b.FsEnd(1)
+	b.AddI(R1, R1, -1)
+	b.Bne(R1, R0, "loop")
+	b.Halt()
+	if err := b.MustBuild().Validate(); err != nil {
+		t.Errorf("balanced program rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsHaltInsideScope(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.FsStart(1)
+	b.Halt()
+	err := b.MustBuild().Validate()
+	if err == nil || !strings.Contains(err.Error(), "halt inside") {
+		t.Errorf("halt-inside-scope not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnmatchedFsEnd(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.FsEnd(1)
+	b.Halt()
+	err := b.MustBuild().Validate()
+	if err == nil || !strings.Contains(err.Error(), "no open scope") {
+		t.Errorf("unmatched fs_end not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsDepthMismatchAtJoin(t *testing.T) {
+	// One path enters the join inside a scope, the other outside.
+	b := NewBuilder()
+	b.Entry("main")
+	b.Beq(R1, R0, "skip")
+	b.FsStart(1)
+	b.Label("skip")
+	b.Nop() // reachable at depth 0 and depth 1
+	b.FsEnd(1)
+	b.Halt()
+	err := b.MustBuild().Validate()
+	if err == nil || !strings.Contains(err.Error(), "depths") {
+		t.Errorf("depth mismatch not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsFallOffEndInScope(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.FsStart(1)
+	b.Nop() // no halt: runs off the end inside the scope
+	err := b.MustBuild().Validate()
+	if err == nil || !strings.Contains(err.Error(), "off the end") {
+		t.Errorf("fall-off-end not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadTarget(t *testing.T) {
+	p := &Program{Code: []Instruction{{Op: OpJmp, Imm: 99}}, Entries: map[string]int{"main": 0}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range jump accepted")
+	}
+}
+
+func TestValidateRejectsBadRegister(t *testing.T) {
+	p := &Program{Code: []Instruction{{Op: OpAdd, Rd: 64}}, Entries: map[string]int{"main": 0}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+func TestValidateAcceptsRunOffEndAtDepthZero(t *testing.T) {
+	b := NewBuilder()
+	b.Entry("main")
+	b.MovI(R1, 1)
+	if err := b.MustBuild().Validate(); err != nil {
+		t.Errorf("depth-0 fall-off-end rejected: %v", err)
+	}
+}

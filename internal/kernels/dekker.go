@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+func init() {
+	register(Info{
+		Name:        "dekker",
+		ScopeType:   "set",
+		Group:       "lock-free",
+		Description: "Dekker mutual-exclusion algorithm [12]; set-scoped fences over {flag0, flag1, turn, counter}",
+		Build:       buildDekker,
+	})
+}
+
+// buildDekker builds the two-thread Dekker benchmark. Each thread executes
+// Ops critical sections; between lock operations it runs the private
+// workload. The critical section performs a deliberately non-atomic
+// read-modify-write of a shared counter, so any mutual-exclusion or
+// memory-ordering violation shows up as a lost update in verification.
+//
+// Fence placement under RMO (following the fence-inference literature the
+// paper cites): an entry fence between the flag store and the peer-flag
+// load (the classic Dekker fence of Fig. 11), an acquire fence after
+// winning the spin, and a release fence before dropping the flag. With set
+// scope all three only order the flagged accesses {flag0, flag1, turn,
+// counter}, letting the workload's private misses drain in parallel.
+func buildDekker(opts Options) (*Kernel, error) {
+	opts = opts.withDefaults(2, 60, 2)
+	if opts.Threads != 2 {
+		return nil, fmt.Errorf("dekker: requires exactly 2 threads, got %d", opts.Threads)
+	}
+	s := newScopeCtx(opts, isa.ScopeSet)
+	if s.mode == Scoped && s.kind != isa.ScopeSet {
+		return nil, fmt.Errorf("dekker: only set scope is meaningful (flags are plain globals)")
+	}
+
+	lay := memsys.NewLayout(4096, 32<<20)
+	flag0 := lay.Word("flag0")
+	lay.AlignTo(64)
+	flag1 := lay.Word("flag1")
+	lay.AlignTo(64)
+	turn := lay.Word("turn")
+	lay.AlignTo(64)
+	counter := lay.Word("counter")
+	lay.AlignTo(64)
+	work0 := lay.Array("work0", workRegionWords)
+	work1 := lay.Array("work1", workRegionWords)
+
+	const (
+		rMyFlag   = isa.R1
+		rPeerFlag = isa.R2
+		rTurn     = isa.R3
+		rCnt      = isa.R4
+		rMe       = isa.R5
+		rIter     = isa.R7
+		rOne      = isa.R8
+		rTmp      = isa.R10
+		rC        = isa.R11
+	)
+
+	b := isa.NewBuilder()
+	body := func(b *isa.Builder) {
+		b.MovI(rOne, 1)
+		b.Label("iter")
+		b.Inline(func(b *isa.Builder) { emitWorkload(b, opts.Workload) })
+
+		// flag[me] = 1; FENCE; spin on flag[other].
+		s.shared(b)
+		b.Store(rMyFlag, 0, rOne)
+		s.fence(b)
+		b.Label("try")
+		s.shared(b)
+		b.Load(rTmp, rPeerFlag, 0)
+		b.Beq(rTmp, isa.R0, "enter")
+		s.shared(b)
+		b.Load(rTmp, rTurn, 0)
+		b.Beq(rTmp, rMe, "try") // my turn: keep waiting politely
+		// Not my turn: back off until it is.
+		s.shared(b)
+		b.Store(rMyFlag, 0, isa.R0)
+		b.Label("waitturn")
+		s.shared(b)
+		b.Load(rTmp, rTurn, 0)
+		b.Bne(rTmp, rMe, "waitturn")
+		s.shared(b)
+		b.Store(rMyFlag, 0, rOne)
+		s.fence(b)
+		b.Jmp("try")
+
+		b.Label("enter")
+		// Acquire: the peer-flag read must be complete before the
+		// critical section's loads issue.
+		s.fence(b)
+		// Critical section: non-atomic increment with a widened window.
+		s.shared(b)
+		b.Load(rC, rCnt, 0)
+		b.AddI(rC, rC, 1)
+		b.Mul(rTmp, rC, rC) // padding work inside the window
+		b.Nop()
+		s.shared(b)
+		b.Store(rCnt, 0, rC)
+		// Release: counter store must be visible before the flag drops.
+		s.fence(b)
+		b.XorI(rTmp, rMe, 1) // other's id
+		s.shared(b)
+		b.Store(rTurn, 0, rTmp)
+		s.shared(b)
+		b.Store(rMyFlag, 0, isa.R0)
+
+		b.AddI(rIter, rIter, -1)
+		b.Bne(rIter, isa.R0, "iter")
+		b.Halt()
+	}
+	b.Entry("t0")
+	b.Inline(body)
+	b.Entry("t1")
+	b.Inline(body)
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	mkRegs := func(me int64, myFlag, peerFlag, work int64) map[isa.Reg]int64 {
+		return map[isa.Reg]int64{
+			rMyFlag: myFlag, rPeerFlag: peerFlag, rTurn: turn, rCnt: counter,
+			rMe: me, rIter: int64(opts.Ops),
+			regWorkBase: work, regWorkPtr: (me * 128) % (workRegionWords * 8),
+		}
+	}
+	want := int64(2 * opts.Ops)
+	return &Kernel{
+		Name:    "dekker",
+		Program: p,
+		Threads: []machine.Thread{
+			{Entry: "t0", Regs: mkRegs(0, flag0, flag1, work0)},
+			{Entry: "t1", Regs: mkRegs(1, flag1, flag0, work1)},
+		},
+		Verify: func(img *memsys.Image) error {
+			if got := img.Load(counter); got != want {
+				return fmt.Errorf("dekker: counter = %d, want %d (lost updates => mutual exclusion or ordering violated)", got, want)
+			}
+			if f0, f1 := img.Load(flag0), img.Load(flag1); f0 != 0 || f1 != 0 {
+				return fmt.Errorf("dekker: flags not released: %d %d", f0, f1)
+			}
+			return nil
+		},
+	}, nil
+}

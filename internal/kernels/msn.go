@@ -1,0 +1,256 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+func init() {
+	register(Info{
+		Name:        "msn",
+		ScopeType:   "class",
+		Group:       "lock-free",
+		Description: "Michael-Scott non-blocking queue [33]; class-scoped fences inside enqueue/dequeue",
+		Build:       buildMSN,
+	})
+}
+
+// msn class id for class-scoped fences.
+const cidMSN = 2
+
+// buildMSN builds the multi-producer multi-consumer Michael-Scott queue
+// benchmark. Half the threads produce, half consume. Nodes come from
+// per-thread bump allocators and are never reused, so there is no ABA
+// hazard. The verifier checks exact delivery (every value dequeued exactly
+// once) and per-producer FIFO order within each consumer's record — the
+// queue's linearizability footprint that is checkable without timestamps.
+//
+// Fences under RMO: a release fence in enqueue after node initialization
+// (before the node becomes reachable), and an acquire-style fence in
+// dequeue between the head/next snapshot and the value read. Both are
+// class-scoped: node fields, QHEAD, QTAIL, and next pointers are all
+// touched inside the queue's methods.
+func buildMSN(opts Options) (*Kernel, error) {
+	opts = opts.withDefaults(4, 120, 2)
+	if opts.Threads < 2 || opts.Threads%2 != 0 || opts.Threads > 16 {
+		return nil, fmt.Errorf("msn: threads must be even in [2,16], got %d", opts.Threads)
+	}
+	s := newScopeCtx(opts, isa.ScopeClass)
+	producers := opts.Threads / 2
+	consumers := opts.Threads - producers
+	perProducer := int64(opts.Ops) / int64(producers)
+	if perProducer < 1 {
+		return nil, fmt.Errorf("msn: too few ops (%d) for %d producers", opts.Ops, producers)
+	}
+	total := perProducer * int64(producers)
+
+	lay := memsys.NewLayout(4096, 48<<20)
+	qhead := lay.Word("QHEAD")
+	lay.AlignTo(64)
+	qtail := lay.Word("QTAIL")
+	lay.AlignTo(64)
+	deqCount := lay.Word("DEQCOUNT")
+	lay.AlignTo(64)
+	dummy := lay.Array("dummy", 2) // initial sentinel node {value, next}
+	nodePool := make([]int64, producers)
+	for p := 0; p < producers; p++ {
+		lay.AlignTo(64)
+		nodePool[p] = lay.Array(fmt.Sprintf("nodes%d", p), (perProducer+2)*2)
+	}
+	recBase := make([]int64, consumers)
+	recCnt := make([]int64, consumers)
+	for c := 0; c < consumers; c++ {
+		lay.AlignTo(64)
+		recCnt[c] = lay.Word(fmt.Sprintf("recCnt%d", c))
+		lay.AlignTo(64)
+		recBase[c] = lay.Array(fmt.Sprintf("rec%d", c), total+8)
+	}
+	workBase := make([]int64, opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		lay.AlignTo(64)
+		workBase[t] = lay.Array(fmt.Sprintf("work%d", t), workRegionWords)
+	}
+
+	const (
+		rQHead  = isa.R20
+		rQTail  = isa.R21
+		rNode   = isa.R22 // bump pointer into the node pool
+		rVal    = isa.R23
+		rLeft   = isa.R24 // loop counter
+		rRec    = isa.R25
+		rRecCnt = isa.R26
+		rCntA   = isa.R27
+		rDeqC   = isa.R28
+		rTotal  = isa.R29
+		rTmp    = isa.R30
+		rTmp2   = isa.R31
+		rTail   = isa.R32
+		rNext   = isa.R33
+		rHead   = isa.R34
+		rOk     = isa.R35
+	)
+
+	b := isa.NewBuilder()
+
+	// enqueue(rVal): allocates from rNode and publishes. Every queue
+	// access is SetFlagged via s.shared so the set-scope variant
+	// (Figure 14) covers the same accesses class scope does.
+	enqueue := func(b *isa.Builder) {
+		s.enter(b, cidMSN)
+		s.shared(b)
+		b.Store(rNode, 0, rVal) // node.value = v
+		s.shared(b)
+		b.Store(rNode, 8, isa.R0) // node.next = nil
+		s.fence(b)                // release: node init before publication
+		b.Label("enq")
+		s.shared(b)
+		b.Load(rTail, rQTail, 0)
+		s.shared(b)
+		b.Load(rNext, rTail, 8) // tail->next
+		b.Bne(rNext, isa.R0, "advance")
+		s.shared(b)
+		b.CAS(rOk, rTail, 8, isa.R0, rNode) // link node
+		b.Beq(rOk, isa.R0, "enq")
+		s.shared(b)
+		b.CAS(rOk, rQTail, 0, rTail, rNode) // swing tail (best effort)
+		b.Jmp("done")
+		b.Label("advance")
+		s.shared(b)
+		b.CAS(rOk, rQTail, 0, rTail, rNext) // help a lagging enqueuer
+		b.Jmp("enq")
+		b.Label("done")
+		b.AddI(rNode, rNode, 16)
+		s.exit(b, cidMSN)
+	}
+
+	// dequeue: rVal = value or 0 when empty.
+	dequeue := func(b *isa.Builder) {
+		s.enter(b, cidMSN)
+		b.Label("deq")
+		s.shared(b)
+		b.Load(rHead, rQHead, 0)
+		s.shared(b)
+		b.Load(rTail, rQTail, 0)
+		s.shared(b)
+		b.Load(rNext, rHead, 8) // head->next
+		// Acquire: the snapshot loads must complete before the value
+		// read and the CAS claim.
+		s.fence(b)
+		b.Bne(rHead, rTail, "nonempty")
+		b.Beq(rNext, isa.R0, "empty")
+		s.shared(b)
+		b.CAS(rOk, rQTail, 0, rTail, rNext) // tail is lagging: help
+		b.Jmp("deq")
+		b.Label("nonempty")
+		b.Beq(rNext, isa.R0, "deq") // transient: retry
+		s.shared(b)
+		b.Load(rVal, rNext, 0) // value of the new head
+		s.shared(b)
+		b.CAS(rOk, rQHead, 0, rHead, rNext)
+		b.Beq(rOk, isa.R0, "deq")
+		b.Jmp("out")
+		b.Label("empty")
+		b.MovI(rVal, 0)
+		b.Label("out")
+		s.exit(b, cidMSN)
+	}
+
+	b.Entry("producer")
+	b.Inline(func(b *isa.Builder) {
+		// rVal starts at the producer's value base; counts down rLeft.
+		b.Label("produce")
+		b.Inline(enqueue)
+		b.Inline(func(b *isa.Builder) { emitWorkload(b, opts.Workload) })
+		b.AddI(rVal, rVal, 1)
+		b.AddI(rLeft, rLeft, -1)
+		b.Bne(rLeft, isa.R0, "produce")
+		b.Halt()
+	})
+
+	b.Entry("consumer")
+	b.Inline(func(b *isa.Builder) {
+		b.MovI(rRecCnt, 0)
+		b.Label("consume")
+		b.Inline(dequeue)
+		b.Beq(rVal, isa.R0, "checkdone")
+		// Record and count the delivery.
+		b.ShlI(rTmp, rRecCnt, 3)
+		b.Add(rTmp, rRec, rTmp)
+		b.Store(rTmp, 0, rVal)
+		b.AddI(rRecCnt, rRecCnt, 1)
+		emitAtomicAdd(b, rDeqC, 1)
+		b.Inline(func(b *isa.Builder) { emitWorkload(b, opts.Workload) })
+		b.Jmp("consume")
+		b.Label("checkdone")
+		b.Load(rTmp2, rDeqC, 0)
+		b.Bne(rTmp2, rTotal, "consume")
+		b.Store(rCntA, 0, rRecCnt)
+		b.Halt()
+	})
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	const valueStride = 1 << 20 // value = producer*stride + k + 1
+	threads := make([]machine.Thread, 0, opts.Threads)
+	for pidx := 0; pidx < producers; pidx++ {
+		threads = append(threads, machine.Thread{Entry: "producer", Regs: map[isa.Reg]int64{
+			rQHead: qhead, rQTail: qtail, rDeqC: deqCount,
+			rNode: nodePool[pidx], rVal: int64(pidx)*valueStride + 1, rLeft: perProducer,
+			regWorkBase: workBase[pidx], regWorkPtr: int64(pidx * 104),
+		}})
+	}
+	for cidx := 0; cidx < consumers; cidx++ {
+		t := producers + cidx
+		threads = append(threads, machine.Thread{Entry: "consumer", Regs: map[isa.Reg]int64{
+			rQHead: qhead, rQTail: qtail, rDeqC: deqCount, rTotal: total,
+			rRec: recBase[cidx], rCntA: recCnt[cidx],
+			regWorkBase: workBase[t], regWorkPtr: int64(t * 104),
+		}})
+	}
+
+	return &Kernel{
+		Name:    "msn",
+		Program: p,
+		Threads: threads,
+		MemInit: map[int64]int64{qhead: dummy, qtail: dummy},
+		Verify: func(img *memsys.Image) error {
+			if got := img.Load(deqCount); got != total {
+				return fmt.Errorf("msn: DEQCOUNT = %d, want %d", got, total)
+			}
+			seen := make(map[int64]int, total)
+			for c := 0; c < consumers; c++ {
+				cnt := img.Load(recCnt[c])
+				if cnt < 0 || cnt > total {
+					return fmt.Errorf("msn: consumer %d recorded %d values", c, cnt)
+				}
+				lastPerProducer := make(map[int64]int64)
+				for i := int64(0); i < cnt; i++ {
+					v := img.Load(recBase[c] + i*8)
+					seen[v]++
+					prod := (v - 1) / valueStride
+					if last, ok := lastPerProducer[prod]; ok && v <= last {
+						return fmt.Errorf("msn: consumer %d saw producer %d values out of FIFO order (%d after %d)", c, prod, v, last)
+					}
+					lastPerProducer[prod] = v
+				}
+			}
+			if int64(len(seen)) != total {
+				return fmt.Errorf("msn: %d distinct values dequeued, want %d", len(seen), total)
+			}
+			for pidx := 0; pidx < producers; pidx++ {
+				for k := int64(0); k < perProducer; k++ {
+					v := int64(pidx)*valueStride + k + 1
+					if seen[v] != 1 {
+						return fmt.Errorf("msn: value %d dequeued %d times", v, seen[v])
+					}
+				}
+			}
+			return nil
+		},
+	}, nil
+}

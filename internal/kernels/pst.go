@@ -1,0 +1,229 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sfence/internal/graph"
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+func init() {
+	register(Info{
+		Name:        "pst",
+		ScopeType:   "class",
+		Group:       "full-app",
+		Description: "Parallel spanning tree [5] over work-stealing queues; class scope in the WSQ, plus the full fence between color/parent updates",
+		Build:       buildPST,
+	})
+}
+
+// pstLayout is the shared data-placement of pst (also reused by ptc).
+type pstLayout struct {
+	g        *graph.Graph
+	rowPtr   int64
+	col      int64
+	qdescs   int64 // T descriptors, wsqDescStride apart
+	bufs     []int64
+	counter  int64 // PROCESSED (pst) / PENDING (ptc)
+	perNode  int64 // color (pst) / reach (ptc) array
+	parent   int64 // pst only
+	mask     int64
+	capWords int64
+}
+
+func buildPSTLayout(lay *memsys.Layout, g *graph.Graph, threads int, withParent bool, minCap int64) *pstLayout {
+	pl := &pstLayout{g: g}
+	pl.capWords = 64
+	for pl.capWords < minCap+64 {
+		pl.capWords <<= 1
+	}
+	pl.mask = pl.capWords - 1
+	pl.rowPtr = lay.Array("rowPtr", int64(g.V)+1)
+	lay.AlignTo(64)
+	pl.col = lay.Array("col", int64(g.Edges())+1)
+	lay.AlignTo(64)
+	pl.qdescs = lay.Array("qdescs", int64(threads)*wsqDescStride/8)
+	for t := 0; t < threads; t++ {
+		lay.AlignTo(64)
+		pl.bufs = append(pl.bufs, lay.Array(fmt.Sprintf("qbuf%d", t), pl.capWords))
+	}
+	lay.AlignTo(64)
+	pl.counter = lay.Word("counter")
+	lay.AlignTo(64)
+	pl.perNode = lay.Array("perNode", int64(g.V))
+	if withParent {
+		lay.AlignTo(64)
+		pl.parent = lay.Array("parent", int64(g.V))
+	}
+	return pl
+}
+
+func (pl *pstLayout) initGraph(img *memsys.Image) {
+	for i, v := range pl.g.RowPtr {
+		img.Store(pl.rowPtr+int64(i)*8, int64(v))
+	}
+	for i, v := range pl.g.Col {
+		img.Store(pl.col+int64(i)*8, int64(v))
+	}
+}
+
+// Register conventions shared by pst/ptc main loops.
+const (
+	rgMyQ    = isa.R20 // own queue descriptor
+	rgQBase  = isa.R21 // descriptor array base
+	rgRowPtr = isa.R22
+	rgCol    = isa.R23
+	rgData   = isa.R24 // color (pst) / reach (ptc) base
+	rgParent = isa.R25 // pst only
+	rgCnt    = isa.R26 // shared counter address
+	rgGoal   = isa.R27 // termination value (pst: V; ptc: 0)
+	rgLabel  = isa.R28 // claim label (pst)
+	rgNT     = isa.R29 // thread count
+	rgMe     = isa.R30
+	rgTask   = isa.R31
+	rgVtx    = isa.R32
+	rgBeg    = isa.R33
+	rgEnd    = isa.R34
+	rgNb     = isa.R35
+	rgAddr   = isa.R36
+	rgVal    = isa.R37
+	rgTmp    = isa.R38
+	rgVict   = isa.R39
+	rgNeg1   = isa.R19
+	rgTmp2   = isa.R18
+)
+
+// buildPST builds the parallel spanning tree application (Fig. 3 of the
+// paper). Each thread owns a Chase-Lev deque; idle threads steal. A vertex
+// is claimed with a CAS on color[v]; the claimer then writes parent[v],
+// executes the full fence the paper describes between the color/parent
+// updates and the queue insertion (this fence stays global even in scoped
+// mode — it belongs to the application, not the queue class), and enqueues
+// the vertex.
+func buildPST(opts Options) (*Kernel, error) {
+	opts = opts.withDefaults(8, 320, 0)
+	if opts.Threads < 2 || opts.Threads > 16 {
+		return nil, fmt.Errorf("pst: threads %d out of range [2,16]", opts.Threads)
+	}
+	s := newScopeCtx(opts, isa.ScopeClass)
+	g, err := graph.RandomConnected(opts.Ops, 5, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lay := memsys.NewLayout(4096, 48<<20)
+	// Each vertex is enqueued at most once (claimed by CAS), so 2V is a
+	// safe capacity.
+	pl := buildPSTLayout(lay, g, opts.Threads, true, int64(g.V)*2)
+
+	b := isa.NewBuilder()
+	b.Entry("worker")
+	b.Inline(func(b *isa.Builder) {
+		b.MovI(rgNeg1, -1)
+		b.Label("mainloop")
+		emitWSQTake(b, s, rgMyQ, rgTask, pl.mask)
+		b.Bne(rgTask, isa.R0, "process")
+		// Own queue empty: sweep the other queues for work.
+		b.MovI(rgVict, 0)
+		b.Label("sweep")
+		b.Beq(rgVict, rgMe, "nextvict")
+		b.MovI(rgTmp, wsqDescStride)
+		b.Mul(rgTmp, rgVict, rgTmp)
+		b.Add(rgTmp, rgQBase, rgTmp)
+		emitWSQSteal(b, s, rgTmp, rgTask, pl.mask)
+		b.Blt(isa.R0, rgTask, "process")
+		b.Label("nextvict")
+		b.AddI(rgVict, rgVict, 1)
+		b.Blt(rgVict, rgNT, "sweep")
+		// Nothing to steal: terminate once every vertex is claimed.
+		b.Load(rgTmp, rgCnt, 0)
+		b.Bne(rgTmp, rgGoal, "mainloop")
+		b.Halt()
+
+		b.Label("process")
+		b.AddI(rgVtx, rgTask, -1) // tasks are vertex+1
+		// Neighbor range from CSR.
+		b.ShlI(rgTmp, rgVtx, 3)
+		b.Add(rgTmp, rgRowPtr, rgTmp)
+		b.Load(rgBeg, rgTmp, 0)
+		b.Load(rgEnd, rgTmp, 8)
+		b.Label("nbloop")
+		b.Bge(rgBeg, rgEnd, "mainloop")
+		b.ShlI(rgTmp, rgBeg, 3)
+		b.Add(rgTmp, rgCol, rgTmp)
+		b.Load(rgNb, rgTmp, 0)
+		// Claim check: color[nb] == 0?
+		b.ShlI(rgAddr, rgNb, 3)
+		b.Add(rgAddr, rgData, rgAddr)
+		b.Load(rgVal, rgAddr, 0)
+		b.Bne(rgVal, isa.R0, "nextnb")
+		b.CAS(rgVal, rgAddr, 0, isa.R0, rgLabel)
+		b.Beq(rgVal, isa.R0, "nextnb") // lost the claim
+		// The paper's full fence sits between the color and parent
+		// updates (Section VI-B) and stays global in every mode: it
+		// belongs to the application, not the queue class.
+		b.Fence(isa.ScopeGlobal)
+		// parent[nb] = vtx: a scattered, often-missing store that is
+		// still draining when put()'s fence executes — the access the
+		// class-scoped queue fence does not wait for.
+		b.ShlI(rgAddr, rgNb, 3)
+		b.Add(rgAddr, rgParent, rgAddr)
+		b.Store(rgAddr, 0, rgVtx)
+		b.AddI(rgTmp2, rgNb, 1)
+		emitWSQPut(b, s, rgMyQ, rgTmp2, pl.mask)
+		emitAtomicAdd(b, rgCnt, 1)
+		b.Label("nextnb")
+		b.AddI(rgBeg, rgBeg, 1)
+		b.Jmp("nbloop")
+	})
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	const root = 0
+	memInit := map[int64]int64{
+		pl.counter: 1, // root pre-claimed
+	}
+	// Seed thread 0's queue with the root.
+	memInit[pl.bufs[0]] = root + 1
+	memInit[pl.qdescs+wsqTailOff] = 1
+	for t := 0; t < opts.Threads; t++ {
+		memInit[pl.qdescs+int64(t)*wsqDescStride+wsqBufOff] = pl.bufs[t]
+	}
+
+	threads := make([]machine.Thread, opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		threads[t] = machine.Thread{Entry: "worker", Regs: map[isa.Reg]int64{
+			rgMyQ: pl.qdescs + int64(t)*wsqDescStride, rgQBase: pl.qdescs,
+			rgRowPtr: pl.rowPtr, rgCol: pl.col, rgData: pl.perNode, rgParent: pl.parent,
+			rgCnt: pl.counter, rgGoal: int64(g.V), rgLabel: int64(t) + 1,
+			rgNT: int64(opts.Threads), rgMe: int64(t),
+		}}
+	}
+
+	return &Kernel{
+		Name:    "pst",
+		Program: p,
+		Threads: threads,
+		MemInit: memInit,
+		InitImage: func(img *memsys.Image) {
+			pl.initGraph(img)
+			img.Store(pl.perNode+root*8, 1) // root colored by thread 0's label
+		},
+		Verify: func(img *memsys.Image) error {
+			if got := img.Load(pl.counter); got != int64(g.V) {
+				return fmt.Errorf("pst: %d vertices claimed, want %d", got, g.V)
+			}
+			parent := make([]int64, g.V)
+			for v := 0; v < g.V; v++ {
+				if img.Load(pl.perNode+int64(v)*8) == 0 {
+					return fmt.Errorf("pst: vertex %d never colored", v)
+				}
+				parent[v] = img.Load(pl.parent + int64(v)*8)
+			}
+			return graph.VerifySpanningTree(g, root, parent)
+		},
+	}, nil
+}

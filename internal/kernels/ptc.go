@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sfence/internal/graph"
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+func init() {
+	register(Info{
+		Name:        "ptc",
+		ScopeType:   "class",
+		Group:       "full-app",
+		Description: "Parallel transitive closure [15]: multi-source reachability propagation over work-stealing queues; class scope in the WSQ",
+		Build:       buildPTC,
+	})
+}
+
+// ptcSources is the number of closure sources (one bit each);
+// ptcSourceBits is the task-encoding shift (log2 of ptcSources).
+const (
+	ptcSources    = 16
+	ptcSourceBits = 4
+)
+
+// buildPTC builds the parallel transitive closure application: reach[v] is
+// a bitmask of sources that reach v. A task is a (vertex, source) pair;
+// processing it claims the source bit in every unreached neighbor with a
+// CAS and enqueues exactly one follow-up task per claimed bit, so the
+// total work is V*sources claims regardless of thread interleaving —
+// which keeps traditional-vs-scoped comparisons meaningful. Task
+// processing is heavier than pst (per-edge CAS merge plus a compute
+// block), so fences are a smaller share of execution — the paper's ptc
+// profile. Termination uses a pending-task counter: a task is counted
+// from enqueue until its processing completes.
+func buildPTC(opts Options) (*Kernel, error) {
+	opts = opts.withDefaults(8, 256, 0)
+	if opts.Threads < 2 || opts.Threads > 16 {
+		return nil, fmt.Errorf("ptc: threads %d out of range [2,16]", opts.Threads)
+	}
+	s := newScopeCtx(opts, isa.ScopeClass)
+	g, err := graph.RandomConnected(opts.Ops, 4, opts.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	lay := memsys.NewLayout(4096, 48<<20)
+	// A vertex can be re-enqueued once per new reach bit, so the total
+	// number of puts (and hence any queue's outstanding tasks) is bounded
+	// by V * sources.
+	pl := buildPSTLayout(lay, g, opts.Threads, false, int64(g.V)*ptcSources)
+
+	const (
+		rgRV   = isa.R17 // reach value of the current vertex
+		rgOld  = isa.R16
+		rgNew  = isa.R15
+		rgComp = isa.R14
+	)
+
+	b := isa.NewBuilder()
+	b.Entry("worker")
+	b.Inline(func(b *isa.Builder) {
+		b.MovI(rgNeg1, -1)
+		b.Label("mainloop")
+		emitWSQTake(b, s, rgMyQ, rgTask, pl.mask)
+		b.Bne(rgTask, isa.R0, "process")
+		b.MovI(rgVict, 0)
+		b.Label("sweep")
+		b.Beq(rgVict, rgMe, "nextvict")
+		b.MovI(rgTmp, wsqDescStride)
+		b.Mul(rgTmp, rgVict, rgTmp)
+		b.Add(rgTmp, rgQBase, rgTmp)
+		emitWSQSteal(b, s, rgTmp, rgTask, pl.mask)
+		b.Blt(isa.R0, rgTask, "process")
+		b.Label("nextvict")
+		b.AddI(rgVict, rgVict, 1)
+		b.Blt(rgVict, rgNT, "sweep")
+		// Quiescent when no task is queued or in flight.
+		b.Load(rgTmp, rgCnt, 0)
+		b.Bne(rgTmp, isa.R0, "mainloop")
+		b.Halt()
+
+		b.Label("process")
+		// Task encoding: ((vertex << sourceShift) | source) + 1.
+		b.AddI(rgTask, rgTask, -1)
+		b.AndI(rgRV, rgTask, ptcSources-1)   // source index
+		b.ShrI(rgVtx, rgTask, ptcSourceBits) // vertex
+		b.MovI(rgTmp, 1)
+		b.Shl(rgRV, rgTmp, rgRV) // source bit
+		b.ShlI(rgTmp, rgVtx, 3)
+		b.Add(rgTmp, rgRowPtr, rgTmp)
+		b.Load(rgBeg, rgTmp, 0)
+		b.Load(rgEnd, rgTmp, 8)
+		b.Label("nbloop")
+		b.Bge(rgBeg, rgEnd, "taskdone")
+		b.ShlI(rgTmp, rgBeg, 3)
+		b.Add(rgTmp, rgCol, rgTmp)
+		b.Load(rgNb, rgTmp, 0)
+		b.ShlI(rgAddr, rgNb, 3)
+		b.Add(rgAddr, rgData, rgAddr)
+		// Claim the source bit in the neighbor: whoever sets the bit
+		// (exactly one thread) publishes the follow-up task.
+		b.Label("merge")
+		b.Load(rgOld, rgAddr, 0)
+		b.And(rgNew, rgOld, rgRV)
+		b.Bne(rgNew, isa.R0, "nextnb") // bit already set: claimed before
+		b.Or(rgNew, rgOld, rgRV)
+		b.CAS(rgVal, rgAddr, 0, rgOld, rgNew)
+		b.Beq(rgVal, isa.R0, "merge")
+		// Claimed: account the new task, then publish it.
+		emitAtomicAdd(b, rgCnt, 1)
+		b.ShlI(rgTmp2, rgNb, ptcSourceBits)
+		b.AndI(rgTmp, rgTask, ptcSources-1) // source index again
+		b.Or(rgTmp2, rgTmp2, rgTmp)
+		b.AddI(rgTmp2, rgTmp2, 1)
+		emitWSQPut(b, s, rgMyQ, rgTmp2, pl.mask)
+		b.Label("nextnb")
+		// Per-edge compute block (closure work is heavier than pst).
+		b.MovI(rgComp, 6)
+		b.Label("edgework")
+		b.Mul(rgNew, rgNew, rgNew)
+		b.XorI(rgNew, rgNew, 5)
+		b.AddI(rgComp, rgComp, -1)
+		b.Bne(rgComp, isa.R0, "edgework")
+		b.AddI(rgBeg, rgBeg, 1)
+		b.Jmp("nbloop")
+		b.Label("taskdone")
+		emitAtomicAdd(b, rgCnt, -1)
+		b.Jmp("mainloop")
+	})
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	sources := make([]int32, ptcSources)
+	for i := range sources {
+		sources[i] = int32(i * (g.V / ptcSources))
+	}
+	memInit := map[int64]int64{}
+	// Seed the sources round-robin into the queues; PENDING counts them.
+	perQ := make([]int64, opts.Threads)
+	for i, src := range sources {
+		t := i % opts.Threads
+		memInit[pl.bufs[t]+perQ[t]*8] = int64(src)<<ptcSourceBits + int64(i) + 1
+		perQ[t]++
+	}
+	for t := 0; t < opts.Threads; t++ {
+		memInit[pl.qdescs+int64(t)*wsqDescStride+wsqTailOff] = perQ[t]
+		memInit[pl.qdescs+int64(t)*wsqDescStride+wsqBufOff] = pl.bufs[t]
+	}
+	memInit[pl.counter] = int64(len(sources))
+
+	threads := make([]machine.Thread, opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		threads[t] = machine.Thread{Entry: "worker", Regs: map[isa.Reg]int64{
+			rgMyQ: pl.qdescs + int64(t)*wsqDescStride, rgQBase: pl.qdescs,
+			rgRowPtr: pl.rowPtr, rgCol: pl.col, rgData: pl.perNode,
+			rgCnt: pl.counter,
+			rgNT:  int64(opts.Threads), rgMe: int64(t),
+		}}
+	}
+
+	want := graph.ReachClosure(g, sources)
+	return &Kernel{
+		Name:    "ptc",
+		Program: p,
+		Threads: threads,
+		MemInit: memInit,
+		InitImage: func(img *memsys.Image) {
+			pl.initGraph(img)
+			for i, src := range sources {
+				img.Store(pl.perNode+int64(src)*8, 1<<uint(i))
+			}
+		},
+		Verify: func(img *memsys.Image) error {
+			if got := img.Load(pl.counter); got != 0 {
+				return fmt.Errorf("ptc: pending counter = %d at exit", got)
+			}
+			for v := 0; v < g.V; v++ {
+				got := img.Load(pl.perNode + int64(v)*8)
+				if got != want[v] {
+					return fmt.Errorf("ptc: reach[%d] = %b, want %b", v, got, want[v])
+				}
+			}
+			return nil
+		},
+	}, nil
+}

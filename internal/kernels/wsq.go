@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+func init() {
+	register(Info{
+		Name:        "wsq",
+		ScopeType:   "class",
+		Group:       "lock-free",
+		Description: "Chase-Lev work-stealing queue [10]; class-scoped fences inside put/take/steal",
+		Build:       buildWSQ,
+	})
+}
+
+// buildWSQ builds the paper's wsq harness: the owner thread puts Ops tasks
+// and then drains its deque with take; thief threads steal concurrently.
+// Every consumer records the tasks it obtained, and the verifier checks
+// that each task was extracted exactly once — the deque's correctness
+// contract. The Workload knob inserts private computation between queue
+// operations (the paper's Figure 12 x-axis).
+func buildWSQ(opts Options) (*Kernel, error) {
+	opts = opts.withDefaults(4, 150, 2)
+	if opts.Threads < 2 || opts.Threads > 16 {
+		return nil, fmt.Errorf("wsq: threads %d out of range [2,16]", opts.Threads)
+	}
+	s := newScopeCtx(opts, isa.ScopeClass)
+	n := int64(opts.Ops)
+	capWords := int64(64)
+	for capWords < n+16 {
+		capWords <<= 1
+	}
+	mask := capWords - 1
+
+	lay := memsys.NewLayout(4096, 48<<20)
+	qdesc := lay.Array("qdesc", wsqDescStride/8)
+	lay.AlignTo(64)
+	buf := lay.Array("buf", capWords)
+	lay.AlignTo(64)
+	done := lay.Word("done")
+	lay.AlignTo(64)
+	recCnt := lay.Array("recCnt", int64(opts.Threads)*8) // one line per thread
+	recBase := make([]int64, opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		lay.AlignTo(64)
+		recBase[t] = lay.Array(fmt.Sprintf("rec%d", t), n+8)
+	}
+	workBase := make([]int64, opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		lay.AlignTo(64)
+		workBase[t] = lay.Array(fmt.Sprintf("work%d", t), workRegionWords)
+	}
+
+	const (
+		rQ      = isa.R20 // queue descriptor
+		rTask   = isa.R21
+		rN      = isa.R22
+		rRec    = isa.R23 // record base
+		rRecCnt = isa.R24 // record count (register)
+		rCntA   = isa.R25 // record count store address
+		rDone   = isa.R26
+		rTmp    = isa.R27
+		rNeg1   = isa.R28
+	)
+
+	record := func(b *isa.Builder) {
+		b.ShlI(rTmp, rRecCnt, 3)
+		b.Add(rTmp, rRec, rTmp)
+		b.Store(rTmp, 0, rTask)
+		b.AddI(rRecCnt, rRecCnt, 1)
+	}
+
+	b := isa.NewBuilder()
+	b.Entry("owner")
+	b.Inline(func(b *isa.Builder) {
+		b.MovI(rRecCnt, 0)
+		b.MovI(rTask, 1)
+		// Phase 1: put all tasks with workload in between.
+		b.Label("putloop")
+		emitWSQPut(b, s, rQ, rTask, mask)
+		b.Inline(func(b *isa.Builder) { emitWorkload(b, opts.Workload) })
+		b.AddI(rTask, rTask, 1)
+		b.MovI(rTmp, n+1)
+		b.Blt(rTask, rTmp, "putloop")
+		// Phase 2: drain with take.
+		b.Label("takeloop")
+		emitWSQTake(b, s, rQ, rTask, mask)
+		b.Beq(rTask, isa.R0, "finish")
+		b.Inline(record)
+		b.Inline(func(b *isa.Builder) { emitWorkload(b, opts.Workload) })
+		b.Jmp("takeloop")
+		b.Label("finish")
+		b.Store(rCntA, 0, rRecCnt)
+		b.MovI(rTmp, 1)
+		b.Store(rDone, 0, rTmp)
+		b.Halt()
+	})
+
+	b.Entry("thief")
+	b.Inline(func(b *isa.Builder) {
+		b.MovI(rRecCnt, 0)
+		b.MovI(rNeg1, -1)
+		b.Label("stealloop")
+		emitWSQSteal(b, s, rQ, rTask, mask)
+		b.Beq(rTask, rNeg1, "stealloop") // ABORT: retry
+		b.Beq(rTask, isa.R0, "checkdone")
+		b.Inline(record)
+		b.Inline(func(b *isa.Builder) { emitWorkload(b, opts.Workload) })
+		b.Jmp("stealloop")
+		b.Label("checkdone")
+		b.Load(rTmp, rDone, 0)
+		b.Beq(rTmp, isa.R0, "stealloop")
+		b.Store(rCntA, 0, rRecCnt)
+		b.Halt()
+	})
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	threads := make([]machine.Thread, opts.Threads)
+	for t := 0; t < opts.Threads; t++ {
+		entry := "thief"
+		if t == 0 {
+			entry = "owner"
+		}
+		threads[t] = machine.Thread{Entry: entry, Regs: map[isa.Reg]int64{
+			rQ: qdesc, rRec: recBase[t], rCntA: recCnt + int64(t)*64, rDone: done,
+			rN:          n,
+			regWorkBase: workBase[t], regWorkPtr: int64(t*192) % (workRegionWords * 8),
+		}}
+	}
+
+	return &Kernel{
+		Name:    "wsq",
+		Program: p,
+		Threads: threads,
+		MemInit: map[int64]int64{qdesc + wsqBufOff: buf},
+		Verify: func(img *memsys.Image) error {
+			seen := make(map[int64]int, n)
+			for t := 0; t < opts.Threads; t++ {
+				cnt := img.Load(recCnt + int64(t)*64)
+				if cnt < 0 || cnt > n {
+					return fmt.Errorf("wsq: thread %d recorded %d tasks", t, cnt)
+				}
+				for i := int64(0); i < cnt; i++ {
+					seen[img.Load(recBase[t]+i*8)]++
+				}
+			}
+			if int64(len(seen)) != n {
+				return fmt.Errorf("wsq: %d distinct tasks extracted, want %d", len(seen), n)
+			}
+			for task := int64(1); task <= n; task++ {
+				if seen[task] != 1 {
+					return fmt.Errorf("wsq: task %d extracted %d times", task, seen[task])
+				}
+			}
+			return nil
+		},
+	}, nil
+}

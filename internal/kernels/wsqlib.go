@@ -1,0 +1,149 @@
+package kernels
+
+import "sfence/internal/isa"
+
+// Chase-Lev work-stealing deque (Fig. 2 of the paper), generated as
+// inline-expanded "class methods" over a queue descriptor:
+//
+//	descriptor+0:   HEAD
+//	descriptor+64:  TAIL        (separate line: owner-written, thief-read)
+//	descriptor+128: BUF         (slot array base address)
+//
+// Queues are sized so indices never wrap past capacity (no growth, no
+// ABA), matching the paper's simplified pseudo-code. Under RMO the deque
+// needs three fences (as found by the fence-inference work the paper
+// cites): the put store-store fence, the take store-load fence, and a
+// load-load fence in steal before reading the task slot.
+//
+// Register conventions: macros clobber R40-R49; the queue descriptor
+// register and operand/result registers are caller-chosen outside that
+// range. All wsq code shares class id cidWSQ — class scope is per class,
+// not per instance, so every queue's fences share one scope.
+const cidWSQ = 1
+
+const (
+	wsqHeadOff = 0
+	wsqTailOff = 64
+	wsqBufOff  = 128
+	// wsqDescStride is the descriptor footprint (line-aligned).
+	wsqDescStride = 192
+)
+
+const (
+	rqTail  = isa.Reg(40)
+	rqHead  = isa.Reg(41)
+	rqBuf   = isa.Reg(42)
+	rqIdx   = isa.Reg(43)
+	rqSlot  = isa.Reg(44)
+	rqTmp   = isa.Reg(45)
+	rqOk    = isa.Reg(46)
+	rqTask  = isa.Reg(47)
+	rqTail2 = isa.Reg(48)
+)
+
+// emitWSQPut generates put(task): the owner appends taskReg at TAIL.
+// wsqMask must be (capacity-1) of the slot array.
+func emitWSQPut(b *isa.Builder, s scopeCtx, qreg, taskReg isa.Reg, wsqMask int64) {
+	b.Inline(func(b *isa.Builder) {
+		s.enter(b, cidWSQ)
+		s.shared(b)
+		b.Load(rqTail, qreg, wsqTailOff) // tail = TAIL
+		b.Load(rqBuf, qreg, wsqBufOff)
+		b.AndI(rqIdx, rqTail, wsqMask)
+		b.ShlI(rqIdx, rqIdx, 3)
+		b.Add(rqSlot, rqBuf, rqIdx)
+		s.shared(b)
+		b.Store(rqSlot, 0, taskReg) // wsq[tail] = task
+		s.fenceSS(b)                // store-store fence (Fig. 2 line 4)
+		b.AddI(rqTail2, rqTail, 1)
+		s.shared(b)
+		b.Store(qreg, wsqTailOff, rqTail2) // TAIL = tail + 1
+		s.exit(b, cidWSQ)
+	})
+}
+
+// emitWSQTake generates take(): resultReg gets the task (tasks are
+// non-zero by convention) or 0 when the queue is empty.
+func emitWSQTake(b *isa.Builder, s scopeCtx, qreg, resultReg isa.Reg, wsqMask int64) {
+	b.Inline(func(b *isa.Builder) {
+		s.enter(b, cidWSQ)
+		s.shared(b)
+		b.Load(rqTail, qreg, wsqTailOff)
+		b.AddI(rqTail, rqTail, -1) // tail = TAIL - 1
+		s.shared(b)
+		b.Store(qreg, wsqTailOff, rqTail) // TAIL = tail
+		s.fence(b)                        // store-load fence (Fig. 2 line 10)
+		s.shared(b)
+		b.Load(rqHead, qreg, wsqHeadOff) // head = HEAD
+		b.Blt(rqTail, rqHead, "restore") // tail < head: empty
+		b.Load(rqBuf, qreg, wsqBufOff)
+		b.AndI(rqIdx, rqTail, wsqMask)
+		b.ShlI(rqIdx, rqIdx, 3)
+		b.Add(rqSlot, rqBuf, rqIdx)
+		s.shared(b)
+		b.Load(rqTask, rqSlot, 0)       // task = wsq[tail]
+		b.Blt(rqHead, rqTail, "gotone") // tail > head: plain pop
+		// tail == head: racing with thieves for the last element.
+		b.AddI(rqTmp, rqHead, 1)
+		s.shared(b)
+		b.Store(qreg, wsqTailOff, rqTmp) // TAIL = head + 1
+		s.shared(b)
+		b.CAS(rqOk, qreg, wsqHeadOff, rqHead, rqTmp)
+		b.Beq(rqOk, isa.R0, "empty") // lost the race
+		b.Jmp("gotone")
+		b.Label("restore")
+		s.shared(b)
+		b.Store(qreg, wsqTailOff, rqHead) // TAIL = head
+		b.Label("empty")
+		b.MovI(resultReg, 0)
+		b.Jmp("out")
+		b.Label("gotone")
+		b.Mov(resultReg, rqTask)
+		b.Label("out")
+		s.exit(b, cidWSQ)
+	})
+}
+
+// emitWSQSteal generates steal(): resultReg gets the task, 0 when the
+// victim's queue is empty, or -1 when the CAS race was lost (ABORT).
+func emitWSQSteal(b *isa.Builder, s scopeCtx, qreg, resultReg isa.Reg, wsqMask int64) {
+	b.Inline(func(b *isa.Builder) {
+		s.enter(b, cidWSQ)
+		s.shared(b)
+		b.Load(rqHead, qreg, wsqHeadOff) // head = HEAD
+		// Load-load fence: TAIL must be read no earlier than HEAD.
+		// Without it, a stale TAIL observed before the owner's take
+		// decrement can combine with a fresh HEAD into a (head, tail)
+		// snapshot that never existed, letting a thief steal the index
+		// the owner is simultaneously popping on its no-CAS fast path
+		// (a duplicate extraction). This matches the fence-inference
+		// results for Chase-Lev under RMO that the paper cites.
+		s.fenceLL(b)
+		s.shared(b)
+		b.Load(rqTail, qreg, wsqTailOff) // tail = TAIL
+		// Second load-load fence: the task slot may only be read once
+		// the observed TAIL (and with it the owner's slot store,
+		// ordered by put's fence) is known to be complete.
+		s.fenceLL(b)
+		b.Bge(rqHead, rqTail, "empty")
+		b.Load(rqBuf, qreg, wsqBufOff)
+		b.AndI(rqIdx, rqHead, wsqMask)
+		b.ShlI(rqIdx, rqIdx, 3)
+		b.Add(rqSlot, rqBuf, rqIdx)
+		s.shared(b)
+		b.Load(rqTask, rqSlot, 0) // task = wsq[head]
+		b.AddI(rqTmp, rqHead, 1)
+		s.shared(b)
+		b.CAS(rqOk, qreg, wsqHeadOff, rqHead, rqTmp)
+		b.Beq(rqOk, isa.R0, "abort")
+		b.Mov(resultReg, rqTask)
+		b.Jmp("out")
+		b.Label("empty")
+		b.MovI(resultReg, 0)
+		b.Jmp("out")
+		b.Label("abort")
+		b.MovI(resultReg, -1)
+		b.Label("out")
+		s.exit(b, cidWSQ)
+	})
+}

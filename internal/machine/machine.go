@@ -1,0 +1,181 @@
+// Package machine assembles cores, the cache hierarchy, and the memory
+// image into a deterministic chip-multiprocessor: a single global clock
+// ticks every core in a fixed order, so every run of the same program and
+// configuration produces bit-identical results.
+package machine
+
+import (
+	"fmt"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+	"sfence/internal/memsys"
+)
+
+// Config aggregates the whole-machine parameters.
+type Config struct {
+	Cores     int
+	Core      cpu.Config
+	Mem       memsys.Config
+	ImageSize int64 // bytes of simulated physical memory
+	// MaxCycles aborts Run when exceeded (0 means the DefaultMaxCycles
+	// safety net).
+	MaxCycles int64
+}
+
+// DefaultMaxCycles is the runaway-simulation safety net.
+const DefaultMaxCycles = 200_000_000
+
+// DefaultConfig returns the paper's Table III machine: an 8-core CMP with
+// the default core and memory-system parameters.
+func DefaultConfig() Config {
+	return Config{
+		Cores:     8,
+		Core:      cpu.DefaultConfig(),
+		Mem:       memsys.DefaultConfig(),
+		ImageSize: 64 << 20,
+	}
+}
+
+// Validate checks the aggregate configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 || c.Cores > 64 {
+		return fmt.Errorf("machine: %d cores out of range [1,64]", c.Cores)
+	}
+	if c.ImageSize < 1024 {
+		return fmt.Errorf("machine: image size %d too small", c.ImageSize)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// Thread describes one hardware thread: its entry point and initial
+// register values.
+type Thread struct {
+	Entry string // program entry-point name
+	Regs  map[isa.Reg]int64
+}
+
+// Machine is a running simulation instance.
+type Machine struct {
+	cfg   Config
+	prog  *isa.Program
+	img   *memsys.Image
+	hier  *memsys.Hierarchy
+	cores []*cpu.Core
+	cycle int64
+}
+
+// New builds a machine running prog with one thread per entry of threads.
+// Thread i runs on core i; cores beyond len(threads) stay idle.
+func New(cfg Config, prog *isa.Program, threads []Thread) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: program rejected: %w", err)
+	}
+	if len(threads) == 0 || len(threads) > cfg.Cores {
+		return nil, fmt.Errorf("machine: %d threads for %d cores", len(threads), cfg.Cores)
+	}
+	img := memsys.NewImage(cfg.ImageSize)
+	hier, err := memsys.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, prog: prog, img: img, hier: hier}
+	for i, th := range threads {
+		pc, err := prog.Entry(th.Entry)
+		if err != nil {
+			return nil, err
+		}
+		core, err := cpu.NewCore(i, cfg.Core, prog, pc, th.Regs, img, hier)
+		if err != nil {
+			return nil, err
+		}
+		core.OnStoreComplete = m.broadcastStore
+		m.cores = append(m.cores, core)
+	}
+	return m, nil
+}
+
+func (m *Machine) broadcastStore(from int, addr int64) {
+	for _, c := range m.cores {
+		if c.ID() != from {
+			c.NoteRemoteStore(addr)
+		}
+	}
+}
+
+// Image exposes the memory image for initialization and verification.
+func (m *Machine) Image() *memsys.Image { return m.img }
+
+// Hierarchy exposes the cache hierarchy (for statistics).
+func (m *Machine) Hierarchy() *memsys.Hierarchy { return m.hier }
+
+// Cycle returns the current global cycle.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Cores returns the number of active cores (threads).
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// Core returns the i-th core.
+func (m *Machine) Core(i int) *cpu.Core { return m.cores[i] }
+
+// Step advances the machine one cycle.
+func (m *Machine) Step() {
+	for _, c := range m.cores {
+		c.Tick(m.cycle)
+	}
+	m.cycle++
+}
+
+// Done reports whether every core has halted and drained.
+func (m *Machine) Done() bool {
+	for _, c := range m.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Fault returns the first core fault, if any.
+func (m *Machine) Fault() error {
+	for _, c := range m.cores {
+		if err := c.Fault(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes until every core is done, a core faults, or the cycle
+// budget is exhausted. It returns the total cycle count.
+func (m *Machine) Run() (int64, error) {
+	limit := m.cfg.MaxCycles
+	if limit <= 0 {
+		limit = DefaultMaxCycles
+	}
+	for !m.Done() {
+		if err := m.Fault(); err != nil {
+			return m.cycle, err
+		}
+		if m.cycle >= limit {
+			return m.cycle, fmt.Errorf("machine: exceeded %d cycles (livelock or runaway program?)", limit)
+		}
+		m.Step()
+	}
+	return m.cycle, nil
+}
+
+// TotalStats aggregates core statistics across the machine.
+func (m *Machine) TotalStats() cpu.Stats {
+	var t cpu.Stats
+	for _, c := range m.cores {
+		t.Add(c.Stats())
+	}
+	return t
+}

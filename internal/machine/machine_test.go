@@ -1,0 +1,181 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+)
+
+// twoThreadSum builds a program where each thread sums its own range into
+// its own result slot.
+func twoThreadSum() *isa.Program {
+	b := isa.NewBuilder()
+	body := func(b *isa.Builder) {
+		// r1 = base index, r2 = count, r3 = result address
+		b.MovI(isa.R4, 0) // sum
+		b.Label("loop")
+		b.Add(isa.R4, isa.R4, isa.R1)
+		b.AddI(isa.R1, isa.R1, 1)
+		b.AddI(isa.R2, isa.R2, -1)
+		b.Bne(isa.R2, isa.R0, "loop")
+		b.Store(isa.R3, 0, isa.R4)
+		b.Halt()
+	}
+	b.Entry("t0")
+	b.Inline(body)
+	b.Entry("t1")
+	b.Inline(body)
+	return b.MustBuild()
+}
+
+func TestTwoCoresRunIndependently(t *testing.T) {
+	p := twoThreadSum()
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	m, err := New(cfg, p, []Thread{
+		{Entry: "t0", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 10, isa.R3: 4096}},
+		{Entry: "t1", Regs: map[isa.Reg]int64{isa.R1: 100, isa.R2: 5, isa.R3: 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Error("no cycles elapsed")
+	}
+	if got := m.Image().Load(4096); got != 55 {
+		t.Errorf("t0 sum = %d, want 55", got)
+	}
+	if got := m.Image().Load(8192); got != 510 {
+		t.Errorf("t1 sum = %d, want 510", got)
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() int64 {
+		p := twoThreadSum()
+		cfg := DefaultConfig()
+		cfg.Cores = 2
+		m, err := New(cfg, p, []Thread{
+			{Entry: "t0", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 50, isa.R3: 4096}},
+			{Entry: "t1", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 50, isa.R3: 8192}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical runs took %d and %d cycles", a, b)
+	}
+}
+
+func TestMachineRejectsBadConfigs(t *testing.T) {
+	p := twoThreadSum()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	if _, err := New(cfg, p, []Thread{{Entry: "t0"}, {Entry: "t1"}}); err == nil {
+		t.Error("more threads than cores accepted")
+	}
+	if _, err := New(DefaultConfig(), p, nil); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := New(DefaultConfig(), p, []Thread{{Entry: "missing"}}); err == nil {
+		t.Error("unknown entry accepted")
+	}
+	bad := DefaultConfig()
+	bad.Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0-core config accepted")
+	}
+	bad = DefaultConfig()
+	bad.ImageSize = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny image accepted")
+	}
+}
+
+func TestMachineRejectsUnbalancedScopes(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("bad")
+	b.FsStart(1)
+	b.Halt() // halt inside an open scope
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	if _, err := New(cfg, p, []Thread{{Entry: "bad"}}); err == nil {
+		t.Error("unbalanced scope program accepted")
+	}
+}
+
+func TestRunawayDetection(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("spin")
+	b.Label("l")
+	b.Jmp("l")
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.MaxCycles = 1000
+	m, err := New(cfg, p, []Thread{{Entry: "spin"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("runaway not detected: %v", err)
+	}
+}
+
+func TestFaultPropagation(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("bad")
+	b.MovI(isa.R1, 3) // misaligned
+	b.Load(isa.R2, isa.R1, 0)
+	b.Halt()
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	m, err := New(cfg, p, []Thread{{Entry: "bad"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Error("fault did not propagate from Run")
+	}
+}
+
+func TestTotalStatsAggregates(t *testing.T) {
+	p := twoThreadSum()
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	m, err := New(cfg, p, []Thread{
+		{Entry: "t0", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 3, isa.R3: 4096}},
+		{Entry: "t1", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 3, isa.R3: 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := m.TotalStats()
+	var manual cpu.Stats
+	for i := 0; i < m.Cores(); i++ {
+		manual.Add(m.Core(i).Stats())
+	}
+	if tot != manual {
+		t.Error("TotalStats != sum of per-core stats")
+	}
+	if tot.CommittedStores != 2 {
+		t.Errorf("stores = %d, want 2", tot.CommittedStores)
+	}
+}

@@ -1,0 +1,418 @@
+package memsys
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size
+	Latency   int // access latency in cycles
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+func (c CacheConfig) validate(name string) error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 || c.Latency < 0 {
+		return fmt.Errorf("memsys: %s config has non-positive field: %+v", name, c)
+	}
+	if c.LineBytes%WordBytes != 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("memsys: %s line size %d must be a power-of-two multiple of %d", name, c.LineBytes, WordBytes)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("memsys: %s size %d not divisible by ways*line (%d*%d)", name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("memsys: %s set count %d must be a power of two", name, sets)
+	}
+	return nil
+}
+
+// Config describes the whole hierarchy. The defaults in DefaultConfig
+// mirror Table III of the paper.
+type Config struct {
+	L1 CacheConfig // private, per core
+	L2 CacheConfig // shared, inclusive, holds the directory
+	// MemLatency is the DRAM round-trip latency in cycles.
+	MemLatency int
+	// RemoteDirtyPenalty is the extra latency when the line must be
+	// fetched from another core's modified L1 copy.
+	RemoteDirtyPenalty int
+}
+
+// DefaultConfig returns the paper's Table III memory-system parameters:
+// private 32 KB 4-way L1 with 2-cycle latency, shared 1 MB 8-way L2 with
+// 10-cycle latency, and 300-cycle memory.
+func DefaultConfig() Config {
+	return Config{
+		L1:                 CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, Latency: 2},
+		L2:                 CacheConfig{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, Latency: 10},
+		MemLatency:         300,
+		RemoteDirtyPenalty: 10,
+	}
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if err := c.L1.validate("L1"); err != nil {
+		return err
+	}
+	if err := c.L2.validate("L2"); err != nil {
+		return err
+	}
+	if c.L1.LineBytes != c.L2.LineBytes {
+		return fmt.Errorf("memsys: L1 line %d != L2 line %d", c.L1.LineBytes, c.L2.LineBytes)
+	}
+	if c.MemLatency < 0 || c.RemoteDirtyPenalty < 0 {
+		return fmt.Errorf("memsys: negative latency")
+	}
+	return nil
+}
+
+// L1 line states.
+const (
+	l1Invalid uint8 = iota
+	l1Shared
+	l1Exclusive // clean, sole owner (E of MESI)
+	l1Modified
+)
+
+type l1Line struct {
+	tag   int64
+	state uint8
+	lru   uint64
+}
+
+type l1Cache struct {
+	cfg   CacheConfig
+	sets  int
+	lines []l1Line // sets*ways
+	tick  uint64
+}
+
+type l2Line struct {
+	tag     int64
+	valid   bool
+	dirty   bool
+	sharers uint64 // bitmask of cores with an L1 copy (S/E/M)
+	owner   int8   // core index holding E/M, or -1
+	lru     uint64
+}
+
+type l2Cache struct {
+	cfg   CacheConfig
+	sets  int
+	lines []l2Line
+	tick  uint64
+}
+
+// CoreStats counts memory-system events for one core.
+type CoreStats struct {
+	Loads         uint64
+	Stores        uint64
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64
+	L2Misses      uint64
+	Upgrades      uint64 // S->M ownership upgrades
+	Invalidations uint64 // lines invalidated in this core's L1 by others
+	Writebacks    uint64 // dirty L1 evictions
+	RemoteDirty   uint64 // misses serviced from another core's M line
+}
+
+// Hierarchy is the shared two-level cache model. It is purely a timing and
+// coherence-state model: Access returns the latency of an access and
+// updates tag/directory state; values live in the Image.
+type Hierarchy struct {
+	cfg   Config
+	cores int
+	l1    []l1Cache
+	l2    l2Cache
+	stats []CoreStats
+
+	lineShift uint
+}
+
+// NewHierarchy builds a hierarchy for the given core count.
+func NewHierarchy(cores int, cfg Config) (*Hierarchy, error) {
+	if cores <= 0 || cores > 64 {
+		return nil, fmt.Errorf("memsys: core count %d out of range [1,64]", cores)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, cores: cores, stats: make([]CoreStats, cores)}
+	for lb := cfg.L1.LineBytes; lb > 1; lb >>= 1 {
+		h.lineShift++
+	}
+	h.l1 = make([]l1Cache, cores)
+	for i := range h.l1 {
+		h.l1[i] = l1Cache{
+			cfg:   cfg.L1,
+			sets:  cfg.L1.Sets(),
+			lines: make([]l1Line, cfg.L1.Sets()*cfg.L1.Ways),
+		}
+	}
+	h.l2 = l2Cache{
+		cfg:   cfg.L2,
+		sets:  cfg.L2.Sets(),
+		lines: make([]l2Line, cfg.L2.Sets()*cfg.L2.Ways),
+	}
+	for i := range h.l2.lines {
+		h.l2.lines[i].owner = -1
+	}
+	return h, nil
+}
+
+// MustHierarchy is NewHierarchy that panics on error.
+func MustHierarchy(cores int, cfg Config) *Hierarchy {
+	h, err := NewHierarchy(cores, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns the per-core statistics accumulated so far.
+func (h *Hierarchy) Stats(core int) CoreStats { return h.stats[core] }
+
+// TotalStats sums statistics across cores.
+func (h *Hierarchy) TotalStats() CoreStats {
+	var t CoreStats
+	for i := range h.stats {
+		s := &h.stats[i]
+		t.Loads += s.Loads
+		t.Stores += s.Stores
+		t.L1Hits += s.L1Hits
+		t.L1Misses += s.L1Misses
+		t.L2Hits += s.L2Hits
+		t.L2Misses += s.L2Misses
+		t.Upgrades += s.Upgrades
+		t.Invalidations += s.Invalidations
+		t.Writebacks += s.Writebacks
+		t.RemoteDirty += s.RemoteDirty
+	}
+	return t
+}
+
+func (h *Hierarchy) lineOf(addr int64) int64 { return addr >> h.lineShift }
+
+// --- L1 helpers ---
+
+func (c *l1Cache) find(line int64) *l1Line {
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.state != l1Invalid && l.tag == line {
+			return l
+		}
+	}
+	return nil
+}
+
+// victim returns the line to fill (an invalid way if any, else LRU).
+func (c *l1Cache) victim(line int64) *l1Line {
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	var v *l1Line
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.state == l1Invalid {
+			return l
+		}
+		if v == nil || l.lru < v.lru {
+			v = l
+		}
+	}
+	return v
+}
+
+func (c *l1Cache) touch(l *l1Line) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// --- L2 helpers ---
+
+func (c *l2Cache) find(line int64) *l2Line {
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == line {
+			return l
+		}
+	}
+	return nil
+}
+
+func (c *l2Cache) victim(line int64) *l2Line {
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	var v *l2Line
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			return l
+		}
+		if v == nil || l.lru < v.lru {
+			v = l
+		}
+	}
+	return v
+}
+
+func (c *l2Cache) touch(l *l2Line) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// invalidateL1Copies removes the line from every L1 named in the sharer
+// mask (back-invalidation or coherence invalidation), charging the
+// Invalidations stat to the cores losing the line. It returns whether any
+// invalidated copy was modified.
+func (h *Hierarchy) invalidateL1Copies(line int64, sharers uint64, except int) bool {
+	dirty := false
+	for c := 0; c < h.cores; c++ {
+		if c == except || sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if l := h.l1[c].find(line); l != nil {
+			if l.state == l1Modified {
+				dirty = true
+				h.stats[c].Writebacks++
+			}
+			l.state = l1Invalid
+			h.stats[c].Invalidations++
+		}
+	}
+	return dirty
+}
+
+// Access simulates one memory access by `core` to byte address addr and
+// returns its latency in cycles. write=true covers stores and the
+// read-for-ownership of CAS.
+func (h *Hierarchy) Access(core int, addr int64, write bool) int {
+	line := h.lineOf(addr)
+	st := &h.stats[core]
+	if write {
+		st.Stores++
+	} else {
+		st.Loads++
+	}
+	l1 := &h.l1[core]
+	if l := l1.find(line); l != nil {
+		l1.touch(l)
+		switch {
+		case !write: // read hit in any valid state
+			st.L1Hits++
+			return h.cfg.L1.Latency
+		case l.state == l1Modified:
+			st.L1Hits++
+			return h.cfg.L1.Latency
+		case l.state == l1Exclusive: // silent E->M upgrade
+			l.state = l1Modified
+			st.L1Hits++
+			return h.cfg.L1.Latency
+		default: // Shared write: upgrade through directory
+			st.L1Hits++
+			st.Upgrades++
+			lat := h.cfg.L1.Latency + h.cfg.L2.Latency
+			if l2l := h.l2.find(line); l2l != nil {
+				h.invalidateL1Copies(line, l2l.sharers, core)
+				l2l.sharers = 1 << uint(core)
+				l2l.owner = int8(core)
+				l2l.dirty = true
+				h.l2.touch(l2l)
+			}
+			l.state = l1Modified
+			return lat
+		}
+	}
+
+	// L1 miss.
+	st.L1Misses++
+	lat := h.cfg.L1.Latency + h.cfg.L2.Latency
+	l2l := h.l2.find(line)
+	if l2l == nil {
+		// L2 miss: fetch from memory, install in L2 (evicting with
+		// back-invalidation to preserve inclusion).
+		st.L2Misses++
+		lat += h.cfg.MemLatency
+		v := h.l2.victim(line)
+		if v.valid {
+			h.invalidateL1Copies(v.tag, v.sharers, -1)
+		}
+		*v = l2Line{tag: line, valid: true, owner: -1}
+		l2l = v
+	} else {
+		st.L2Hits++
+		// If another core holds the line modified, it must supply the
+		// data (and lose or downgrade its copy).
+		if l2l.owner >= 0 && int(l2l.owner) != core {
+			if ol := h.l1[l2l.owner].find(line); ol != nil && (ol.state == l1Modified || ol.state == l1Exclusive) {
+				if ol.state == l1Modified {
+					lat += h.cfg.RemoteDirtyPenalty
+					st.RemoteDirty++
+					h.stats[l2l.owner].Writebacks++
+					l2l.dirty = true
+				}
+				if write {
+					ol.state = l1Invalid
+					h.stats[l2l.owner].Invalidations++
+				} else {
+					ol.state = l1Shared
+				}
+			}
+			if !write {
+				l2l.owner = -1
+			}
+		}
+	}
+	h.l2.touch(l2l)
+
+	// Coherence action at the directory.
+	if write {
+		h.invalidateL1Copies(line, l2l.sharers, core)
+		l2l.sharers = 1 << uint(core)
+		l2l.owner = int8(core)
+		l2l.dirty = true
+	} else {
+		l2l.sharers |= 1 << uint(core)
+		if l2l.sharers != 1<<uint(core) {
+			l2l.owner = -1
+		}
+	}
+
+	// Install in L1, evicting as needed.
+	v := l1.victim(line)
+	if v.state != l1Invalid {
+		if v.state == l1Modified {
+			st.Writebacks++
+			if old := h.l2.find(v.tag); old != nil {
+				old.dirty = true
+			}
+		}
+		// Leave the old line's directory bit stale; a later invalidation
+		// of the stale sharer is a harmless no-op.
+		v.state = l1Invalid
+	}
+	v.tag = line
+	switch {
+	case write:
+		v.state = l1Modified
+	case l2l.sharers == 1<<uint(core):
+		v.state = l1Exclusive
+		l2l.owner = int8(core)
+	default:
+		v.state = l1Shared
+	}
+	l1.touch(v)
+	return lat
+}

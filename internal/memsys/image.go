@@ -1,0 +1,139 @@
+// Package memsys models the simulated memory system: a word-addressable
+// memory image holding architectural values, and a two-level cache
+// hierarchy with MESI-style invalidation that supplies access latencies.
+//
+// The simulator is timing-directed: values always live in the Image, and a
+// store's value becomes visible to other cores only when the owning core's
+// store buffer completes it (see internal/cpu). The cache hierarchy decides
+// *when* that happens and what each access costs, reproducing the latency
+// structure of the paper's SESC configuration (Table III).
+package memsys
+
+import "fmt"
+
+// WordBytes is the size of every memory access.
+const WordBytes = 8
+
+// Image is the flat, word-addressable backing store shared by all cores.
+// Addresses are byte addresses and must be WordBytes-aligned for
+// architectural accesses. The image size is a power of two; Norm wraps any
+// address into range, which the core model uses to keep speculative
+// wrong-path accesses harmless.
+type Image struct {
+	words []int64
+	mask  int64 // byte-address mask (size-1, with low 3 bits cleared by Norm)
+}
+
+// NewImage returns an image of the given size in bytes, rounded up to the
+// next power of two (minimum 1 KiB).
+func NewImage(sizeBytes int64) *Image {
+	size := int64(1024)
+	for size < sizeBytes {
+		size <<= 1
+	}
+	return &Image{
+		words: make([]int64, size/WordBytes),
+		mask:  size - 1,
+	}
+}
+
+// Size returns the image size in bytes.
+func (im *Image) Size() int64 { return im.mask + 1 }
+
+// Norm wraps an arbitrary (possibly wrong-path) byte address into a valid
+// aligned address.
+func (im *Image) Norm(addr int64) int64 {
+	return addr & im.mask &^ (WordBytes - 1)
+}
+
+// Valid reports whether addr is an in-range, aligned architectural address.
+func (im *Image) Valid(addr int64) bool {
+	return addr >= 0 && addr <= im.mask && addr%WordBytes == 0
+}
+
+// Load returns the word at addr (normalized).
+func (im *Image) Load(addr int64) int64 {
+	return im.words[im.Norm(addr)/WordBytes]
+}
+
+// Store writes the word at addr (normalized).
+func (im *Image) Store(addr, val int64) {
+	im.words[im.Norm(addr)/WordBytes] = val
+}
+
+// CompareAndSwap atomically (with respect to the single-threaded simulation
+// loop) replaces the word at addr with new if it currently equals old.
+func (im *Image) CompareAndSwap(addr, old, new int64) bool {
+	i := im.Norm(addr) / WordBytes
+	if im.words[i] != old {
+		return false
+	}
+	im.words[i] = new
+	return true
+}
+
+// Snapshot copies the image contents; used by verifiers and tests.
+func (im *Image) Snapshot() []int64 {
+	out := make([]int64, len(im.words))
+	copy(out, im.words)
+	return out
+}
+
+// Layout is a simple bump allocator over an Image's address space, used by
+// kernels to place named globals and arrays. It has no free operation: a
+// kernel builds its whole data layout once.
+type Layout struct {
+	next  int64
+	limit int64
+	names map[string]int64
+}
+
+// NewLayout returns a Layout allocating from [base, limit).
+func NewLayout(base, limit int64) *Layout {
+	if base%WordBytes != 0 {
+		base += WordBytes - base%WordBytes
+	}
+	return &Layout{next: base, limit: limit, names: make(map[string]int64)}
+}
+
+// Word allocates one named word and returns its byte address.
+func (l *Layout) Word(name string) int64 { return l.Array(name, 1) }
+
+// Array allocates n contiguous named words and returns the base byte
+// address. It panics if the region is exhausted or the name reused, since
+// kernel layouts are static.
+func (l *Layout) Array(name string, n int64) int64 {
+	if _, dup := l.names[name]; dup {
+		panic(fmt.Sprintf("memsys: duplicate layout name %q", name))
+	}
+	addr := l.next
+	l.next += n * WordBytes
+	if l.next > l.limit {
+		panic(fmt.Sprintf("memsys: layout overflow allocating %q (%d words)", name, n))
+	}
+	l.names[name] = addr
+	return addr
+}
+
+// AlignTo advances the allocation pointer to the next multiple of align
+// bytes (e.g. a cache-line boundary to avoid false sharing).
+func (l *Layout) AlignTo(align int64) {
+	if align <= 0 || align%WordBytes != 0 {
+		panic(fmt.Sprintf("memsys: bad alignment %d", align))
+	}
+	if rem := l.next % align; rem != 0 {
+		l.next += align - rem
+	}
+}
+
+// Addr returns the address previously allocated under name.
+func (l *Layout) Addr(name string) int64 {
+	addr, ok := l.names[name]
+	if !ok {
+		panic(fmt.Sprintf("memsys: unknown layout name %q", name))
+	}
+	return addr
+}
+
+// End returns the first unallocated byte address.
+func (l *Layout) End() int64 { return l.next }

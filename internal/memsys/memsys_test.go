@@ -1,0 +1,350 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	im := NewImage(1 << 12)
+	im.Store(64, 12345)
+	if got := im.Load(64); got != 12345 {
+		t.Errorf("Load(64) = %d, want 12345", got)
+	}
+	if got := im.Load(72); got != 0 {
+		t.Errorf("Load(72) = %d, want 0 (untouched)", got)
+	}
+}
+
+func TestImageSizeRoundsToPowerOfTwo(t *testing.T) {
+	im := NewImage(3000)
+	if im.Size() != 4096 {
+		t.Errorf("Size = %d, want 4096", im.Size())
+	}
+	im = NewImage(1)
+	if im.Size() != 1024 {
+		t.Errorf("minimum Size = %d, want 1024", im.Size())
+	}
+}
+
+func TestImageNormWrapsAndAligns(t *testing.T) {
+	im := NewImage(1 << 12) // 4096
+	if got := im.Norm(4096 + 16); got != 16 {
+		t.Errorf("Norm wrap = %d, want 16", got)
+	}
+	if got := im.Norm(21); got != 16 {
+		t.Errorf("Norm align = %d, want 16", got)
+	}
+	if got := im.Norm(-8); got >= 0 && got < 4096 && got%8 == 0 {
+		// negative addresses must still normalize into range
+	} else {
+		t.Errorf("Norm(-8) = %d out of range", got)
+	}
+}
+
+func TestImageValid(t *testing.T) {
+	im := NewImage(1 << 12)
+	cases := []struct {
+		addr int64
+		want bool
+	}{
+		{0, true}, {8, true}, {4088, true},
+		{4096, false}, {-8, false}, {12, false},
+	}
+	for _, c := range cases {
+		if got := im.Valid(c.addr); got != c.want {
+			t.Errorf("Valid(%d) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestImageCAS(t *testing.T) {
+	im := NewImage(1 << 12)
+	im.Store(8, 5)
+	if !im.CompareAndSwap(8, 5, 9) {
+		t.Error("CAS with matching old failed")
+	}
+	if im.Load(8) != 9 {
+		t.Error("CAS did not write")
+	}
+	if im.CompareAndSwap(8, 5, 11) {
+		t.Error("CAS with stale old succeeded")
+	}
+	if im.Load(8) != 9 {
+		t.Error("failed CAS mutated memory")
+	}
+}
+
+// Property: store-then-load returns the stored value for any in-range
+// address, and never touches neighbours.
+func TestImageStoreLoadProperty(t *testing.T) {
+	im := NewImage(1 << 14)
+	f := func(rawAddr int64, val int64) bool {
+		addr := im.Norm(rawAddr)
+		neighbor := im.Norm(addr + 8)
+		before := im.Load(neighbor)
+		im.Store(addr, val)
+		if im.Load(addr) != val {
+			return false
+		}
+		return neighbor == addr || im.Load(neighbor) == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutAllocation(t *testing.T) {
+	l := NewLayout(100, 1<<12) // unaligned base rounds up to 104
+	a := l.Word("a")
+	if a != 104 {
+		t.Errorf("first word at %d, want 104", a)
+	}
+	arr := l.Array("arr", 4)
+	if arr != 112 {
+		t.Errorf("array at %d, want 112", arr)
+	}
+	if l.Addr("a") != a || l.Addr("arr") != arr {
+		t.Error("Addr lookup mismatch")
+	}
+	l.AlignTo(64)
+	if l.End()%64 != 0 {
+		t.Errorf("AlignTo(64) left End = %d", l.End())
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	l := NewLayout(0, 64)
+	l.Word("x")
+	expectPanic("duplicate name", func() { l.Word("x") })
+	expectPanic("overflow", func() { l.Array("big", 100) })
+	expectPanic("unknown addr", func() { l.Addr("nope") })
+	expectPanic("bad align", func() { l.AlignTo(7) })
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.L1.LineBytes = 48 // not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("48-byte line accepted")
+	}
+	bad = DefaultConfig()
+	bad.L2.LineBytes = 128 // mismatched line sizes
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+	bad = DefaultConfig()
+	bad.MemLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative memory latency accepted")
+	}
+}
+
+func TestDefaultConfigMatchesTableIII(t *testing.T) {
+	c := DefaultConfig()
+	if c.L1.SizeBytes != 32<<10 || c.L1.Ways != 4 || c.L1.Latency != 2 {
+		t.Errorf("L1 config %+v does not match Table III", c.L1)
+	}
+	if c.L2.SizeBytes != 1<<20 || c.L2.Ways != 8 || c.L2.Latency != 10 {
+		t.Errorf("L2 config %+v does not match Table III", c.L2)
+	}
+	if c.MemLatency != 300 {
+		t.Errorf("MemLatency = %d, want 300", c.MemLatency)
+	}
+}
+
+func newH(t *testing.T, cores int) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(cores, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := newH(t, 2)
+	cfg := h.Config()
+	missLat := cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency
+	if got := h.Access(0, 0, false); got != missLat {
+		t.Errorf("cold read latency = %d, want %d", got, missLat)
+	}
+	if got := h.Access(0, 0, false); got != cfg.L1.Latency {
+		t.Errorf("L1 hit latency = %d, want %d", got, cfg.L1.Latency)
+	}
+	// Same line, different word: still an L1 hit.
+	if got := h.Access(0, 8, false); got != cfg.L1.Latency {
+		t.Errorf("same-line hit latency = %d, want %d", got, cfg.L1.Latency)
+	}
+	s := h.Stats(0)
+	if s.L1Hits != 2 || s.L1Misses != 1 || s.L2Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestExclusiveReadThenWriteIsSilent(t *testing.T) {
+	h := newH(t, 2)
+	cfg := h.Config()
+	h.Access(0, 0, false) // cold read -> E
+	if got := h.Access(0, 0, true); got != cfg.L1.Latency {
+		t.Errorf("E->M write latency = %d, want silent %d", got, cfg.L1.Latency)
+	}
+	if h.Stats(0).Upgrades != 0 {
+		t.Error("silent E->M counted as directory upgrade")
+	}
+}
+
+func TestSharedWriteUpgradesAndInvalidates(t *testing.T) {
+	h := newH(t, 2)
+	cfg := h.Config()
+	h.Access(0, 0, false) // core0 E
+	h.Access(1, 0, false) // core1 joins: both S
+	got := h.Access(0, 0, true)
+	want := cfg.L1.Latency + cfg.L2.Latency
+	if got != want {
+		t.Errorf("S->M upgrade latency = %d, want %d", got, want)
+	}
+	if h.Stats(0).Upgrades != 1 {
+		t.Error("upgrade not counted")
+	}
+	if h.Stats(1).Invalidations != 1 {
+		t.Error("sharer not invalidated")
+	}
+	// Core1 read now misses (L2 hit, dirty in core0's L1).
+	got = h.Access(1, 0, false)
+	want = cfg.L1.Latency + cfg.L2.Latency + cfg.RemoteDirtyPenalty
+	if got != want {
+		t.Errorf("remote-dirty read latency = %d, want %d", got, want)
+	}
+}
+
+func TestWriteMissInvalidatesRemoteModified(t *testing.T) {
+	h := newH(t, 2)
+	cfg := h.Config()
+	h.Access(0, 0, true) // core0 M
+	got := h.Access(1, 0, true)
+	want := cfg.L1.Latency + cfg.L2.Latency + cfg.RemoteDirtyPenalty
+	if got != want {
+		t.Errorf("write miss to remote-M latency = %d, want %d", got, want)
+	}
+	// Core0's copy must now be invalid: its next read misses.
+	if got := h.Access(0, 0, false); got == cfg.L1.Latency {
+		t.Error("stale M copy survived remote write")
+	}
+}
+
+func TestL1EvictionLRU(t *testing.T) {
+	h := newH(t, 1)
+	cfg := h.Config()
+	sets := cfg.L1.Sets()
+	line := int64(cfg.L1.LineBytes)
+	// Fill one set (4 ways), then touch way 0 again, then bring a 5th
+	// line: the LRU victim should be way 1's line, not way 0's.
+	addr := func(i int) int64 { return int64(i) * line * int64(sets) } // same set
+	for i := 0; i < 4; i++ {
+		h.Access(0, addr(i), false)
+	}
+	h.Access(0, addr(0), false) // refresh line 0
+	h.Access(0, addr(4), false) // evicts line 1
+	if got := h.Access(0, addr(0), false); got != cfg.L1.Latency {
+		t.Error("recently-used line was evicted")
+	}
+	if got := h.Access(0, addr(1), false); got == cfg.L1.Latency {
+		t.Error("LRU line was not evicted")
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	h := newH(t, 1)
+	cfg := h.Config()
+	sets := cfg.L1.Sets()
+	line := int64(cfg.L1.LineBytes)
+	addr := func(i int) int64 { return int64(i) * line * int64(sets) }
+	h.Access(0, addr(0), true) // dirty
+	for i := 1; i <= 4; i++ {
+		h.Access(0, addr(i), false) // force eviction of addr(0)
+	}
+	if h.Stats(0).Writebacks == 0 {
+		t.Error("dirty eviction produced no writeback")
+	}
+}
+
+func TestL2BackInvalidationPreservesInclusion(t *testing.T) {
+	cfg := DefaultConfig()
+	// Tiny L2 so we can force L2 evictions easily: 2 sets, 1 way.
+	cfg.L2 = CacheConfig{SizeBytes: 128, Ways: 1, LineBytes: 64, Latency: 10}
+	cfg.L1 = CacheConfig{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2}
+	h, err := NewHierarchy(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0, false)   // line 0 -> L2 set 0
+	h.Access(0, 128, false) // line 2 -> L2 set 0, evicts line 0, must back-invalidate L1
+	if got := h.Access(0, 0, false); got == cfg.L1.Latency {
+		t.Error("L1 kept line after L2 eviction (inclusion violated)")
+	}
+	if h.Stats(0).Invalidations == 0 {
+		t.Error("back-invalidation not counted")
+	}
+}
+
+func TestHierarchyRejectsBadCoreCount(t *testing.T) {
+	if _, err := NewHierarchy(0, DefaultConfig()); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := NewHierarchy(65, DefaultConfig()); err == nil {
+		t.Error("65 cores accepted")
+	}
+}
+
+func TestTotalStatsSums(t *testing.T) {
+	h := newH(t, 2)
+	h.Access(0, 0, false)
+	h.Access(1, 4096, true)
+	tot := h.TotalStats()
+	if tot.Loads != 1 || tot.Stores != 1 || tot.L1Misses != 2 {
+		t.Errorf("TotalStats = %+v", tot)
+	}
+}
+
+// Property: latency is always one of the five legal shapes and state
+// converges (a second access by the same core to the same address with the
+// same kind is always an L1 hit).
+func TestAccessLatencyShapesProperty(t *testing.T) {
+	h := newH(t, 4)
+	cfg := h.Config()
+	legal := map[int]bool{
+		cfg.L1.Latency:                  true,
+		cfg.L1.Latency + cfg.L2.Latency: true,
+		cfg.L1.Latency + cfg.L2.Latency + cfg.RemoteDirtyPenalty:                  true,
+		cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency:                          true,
+		cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency + cfg.RemoteDirtyPenalty: true,
+	}
+	f := func(core uint8, rawAddr int64, write bool) bool {
+		c := int(core % 4)
+		addr := (rawAddr & 0xffff) &^ 7
+		if addr < 0 {
+			addr = -addr
+		}
+		lat := h.Access(c, addr, write)
+		if !legal[lat] {
+			t.Logf("illegal latency %d", lat)
+			return false
+		}
+		return h.Access(c, addr, write) == cfg.L1.Latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

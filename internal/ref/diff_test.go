@@ -1,0 +1,178 @@
+package ref
+
+import (
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+	"sfence/internal/memsys"
+)
+
+func TestInterpreterBasics(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 6)
+	b.MovI(isa.R2, 7)
+	b.Mul(isa.R3, isa.R1, isa.R2)
+	b.MovI(isa.R4, 4096)
+	b.Store(isa.R4, 0, isa.R3)
+	b.Load(isa.R5, isa.R4, 0)
+	b.CAS(isa.R6, isa.R4, 0, isa.R3, isa.R1)
+	b.Fence(isa.ScopeGlobal)
+	b.FsStart(1)
+	b.Fence(isa.ScopeClass)
+	b.FsEnd(1)
+	b.Halt()
+	p := b.MustBuild()
+	st, err := Run(p, 0, nil, nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[isa.R3] != 42 || st.Regs[isa.R5] != 42 || st.Regs[isa.R6] != 1 {
+		t.Errorf("regs: r3=%d r5=%d r6=%d", st.Regs[isa.R3], st.Regs[isa.R5], st.Regs[isa.R6])
+	}
+	if st.Load(4096) != 6 {
+		t.Errorf("mem[4096] = %d after CAS, want 6", st.Load(4096))
+	}
+	if st.FencesExecuted != 2 {
+		t.Errorf("fences = %d, want 2", st.FencesExecuted)
+	}
+	if st.ScopeDepth != 0 {
+		t.Errorf("scope depth = %d, want 0", st.ScopeDepth)
+	}
+}
+
+func TestInterpreterStepLimit(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.Label("l")
+	b.Jmp("l")
+	p := b.MustBuild()
+	if _, err := Run(p, 0, nil, nil, 100); err == nil {
+		t.Fatal("infinite loop not caught by step limit")
+	}
+}
+
+func TestInterpreterRunsOffEnd(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 9)
+	p := b.MustBuild()
+	st, err := Run(p, 0, nil, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[isa.R1] != 9 {
+		t.Error("result lost when running off the end")
+	}
+}
+
+func TestGenProgramDeterministic(t *testing.T) {
+	p1, r1, m1 := GenProgram(7)
+	p2, r2, m2 := GenProgram(7)
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatal("same seed produced different program sizes")
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Fatalf("same seed diverged at pc %d", i)
+		}
+	}
+	if len(r1) != len(r2) || len(m1) != len(m2) {
+		t.Fatal("same seed produced different initial state")
+	}
+}
+
+// runOnCore executes the program on the out-of-order core model.
+func runOnCore(t *testing.T, cfg cpu.Config, p *isa.Program, regs map[isa.Reg]int64, mem map[int64]int64) (*cpu.Core, *memsys.Image) {
+	t.Helper()
+	img := memsys.NewImage(1 << 20)
+	for a, v := range mem {
+		img.Store(a, v)
+	}
+	hier := memsys.MustHierarchy(1, memsys.DefaultConfig())
+	core, err := cpu.NewCore(0, cfg, p, p.MustEntry("main"), regs, img, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := int64(0); !core.Done(); cycle++ {
+		if err := core.Fault(); err != nil {
+			t.Fatalf("core fault: %v", err)
+		}
+		if cycle > 20_000_000 {
+			t.Fatal("core did not finish")
+		}
+		core.Tick(cycle)
+	}
+	return core, img
+}
+
+// compareStates checks registers R1-R12 and the whole test memory region.
+func compareStates(t *testing.T, seed int64, cfgName string, st *State, core *cpu.Core, img *memsys.Image) {
+	t.Helper()
+	for r := isa.R1; r <= isa.R12; r++ {
+		if got, want := core.Reg(r), st.Regs[r]; got != want {
+			t.Errorf("seed %d [%s]: r%d = %d, want %d", seed, cfgName, r, got, want)
+		}
+	}
+	for i := int64(0); i < memWords; i++ {
+		addr := memBase + i*8
+		if got, want := img.Load(addr), st.Load(addr); got != want {
+			t.Errorf("seed %d [%s]: mem[%d] = %d, want %d", seed, cfgName, addr, got, want)
+		}
+	}
+}
+
+// TestDifferentialRandomPrograms is the core correctness property of the
+// whole simulator: for single-threaded programs, out-of-order execution
+// with branch speculation, store buffering, scoped fences, and (optionally)
+// in-window speculation must be architecturally invisible — the final
+// state must equal the sequential reference interpreter's, under every
+// core configuration.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	tiny := cpu.DefaultConfig()
+	tiny.ROBSize = 8
+	tiny.SBSize = 2
+	tiny.FSBEntries = 2
+	tiny.FSSEntries = 1
+	tiny.MapEntries = 1
+	spec := cpu.DefaultConfig()
+	spec.InWindowSpec = true
+	shadow := cpu.DefaultConfig()
+	shadow.Recovery = cpu.RecoveryShadow
+	fifo := cpu.DefaultConfig()
+	fifo.FIFOStoreBuffer = true
+	narrow := cpu.DefaultConfig()
+	narrow.IssueWidth = 1
+	narrow.RetireWidth = 1
+	narrow.MSHRs = 1
+	configs := []struct {
+		name string
+		cfg  cpu.Config
+	}{
+		{"default", cpu.DefaultConfig()},
+		{"tiny", tiny},
+		{"spec", spec},
+		{"shadow", shadow},
+		{"fifo", fifo},
+		{"narrow", narrow},
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p, regs, mem := GenProgram(seed)
+		st, err := Run(p, p.MustEntry("main"), regs, mem, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		for _, c := range configs {
+			core, img := runOnCore(t, c.cfg, p, regs, mem)
+			compareStates(t, seed, c.name, st, core, img)
+			if t.Failed() {
+				t.Fatalf("seed %d [%s]: architectural divergence (program has %d insts)", seed, c.name, len(p.Code))
+			}
+		}
+	}
+}

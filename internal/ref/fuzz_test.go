@@ -1,0 +1,63 @@
+package ref
+
+import (
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+	"sfence/internal/memsys"
+)
+
+// FuzzDifferential drives the differential oracle from the fuzzer: any
+// seed must produce a random program whose architectural result on the
+// out-of-order core matches the sequential reference interpreter.
+//
+// Run with: go test -fuzz=FuzzDifferential ./internal/ref
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	cfgs := []cpu.Config{cpu.DefaultConfig()}
+	spec := cpu.DefaultConfig()
+	spec.InWindowSpec = true
+	cfgs = append(cfgs, spec)
+
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p, regs, mem := GenProgram(seed)
+		st, err := Run(p, p.MustEntry("main"), regs, mem, 2_000_000)
+		if err != nil {
+			t.Skip("reference hit the step limit")
+		}
+		for _, cfg := range cfgs {
+			img := memsys.NewImage(1 << 20)
+			for a, v := range mem {
+				img.Store(a, v)
+			}
+			hier := memsys.MustHierarchy(1, memsys.DefaultConfig())
+			core, err := cpu.NewCore(0, cfg, p, p.MustEntry("main"), regs, img, hier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cycle := int64(0); !core.Done(); cycle++ {
+				if err := core.Fault(); err != nil {
+					t.Fatalf("seed %d: core fault: %v", seed, err)
+				}
+				if cycle > 50_000_000 {
+					t.Fatalf("seed %d: core did not finish", seed)
+				}
+				core.Tick(cycle)
+			}
+			for r := isa.R1; r <= isa.R12; r++ {
+				if core.Reg(r) != st.Regs[r] {
+					t.Errorf("seed %d: r%d = %d, want %d", seed, r, core.Reg(r), st.Regs[r])
+				}
+			}
+			for i := int64(0); i < memWords; i++ {
+				addr := memBase + i*8
+				if img.Load(addr) != st.Load(addr) {
+					t.Errorf("seed %d: mem[%d] = %d, want %d", seed, addr, img.Load(addr), st.Load(addr))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package ref
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sfence/internal/isa"
+)
+
+// GenProgram deterministically generates a random, guaranteed-terminating
+// single-threaded program for differential testing: structured blocks of
+// ALU operations, loads/stores/CAS over a bounded memory region, counted
+// loops, forward branches, fences of every scope, and balanced
+// fs_start/fs_end brackets. It returns the program, initial registers, and
+// initial memory.
+//
+// Register conventions: R1-R12 data, R13 address scratch, R14/R15 loop
+// counters (outer/inner).
+func GenProgram(seed int64) (*isa.Program, map[isa.Reg]int64, map[int64]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder()
+	b.Entry("main")
+	g := &gen{rng: rng, b: b}
+	g.block(0)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		// Generation bugs are programming errors, not data-dependent.
+		panic(fmt.Sprintf("ref: generated program failed to assemble: %v", err))
+	}
+	regs := map[isa.Reg]int64{}
+	for r := isa.R1; r <= isa.R12; r++ {
+		regs[r] = rng.Int63n(1 << 20)
+	}
+	mem := map[int64]int64{}
+	for i := 0; i < 64; i++ {
+		mem[memBase+rng.Int63n(memWords)*8] = rng.Int63n(1 << 16)
+	}
+	return prog, regs, mem
+}
+
+const (
+	memBase  = 4096
+	memWords = 128
+)
+
+type gen struct {
+	rng    *rand.Rand
+	b      *isa.Builder
+	labels int
+}
+
+func (g *gen) dataReg() isa.Reg { return isa.Reg(1 + g.rng.Intn(12)) }
+
+func (g *gen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+// address computes a bounded aligned address into R13 from a random data
+// register.
+func (g *gen) address() {
+	g.b.AndI(isa.R13, g.dataReg(), memWords-1)
+	g.b.ShlI(isa.R13, isa.R13, 3)
+	g.b.AddI(isa.R13, isa.R13, memBase)
+}
+
+func (g *gen) block(depth int) {
+	n := 3 + g.rng.Intn(8)
+	for i := 0; i < n; i++ {
+		switch pick := g.rng.Intn(14); {
+		case pick < 5:
+			g.alu()
+		case pick < 7:
+			g.address()
+			g.b.Load(g.dataReg(), isa.R13, 0)
+		case pick < 9:
+			g.address()
+			g.b.Store(isa.R13, 0, g.dataReg())
+		case pick == 9:
+			g.address()
+			g.b.CAS(g.dataReg(), isa.R13, 0, g.dataReg(), g.dataReg())
+		case pick == 10:
+			g.fence()
+		case pick == 11 && depth < 2:
+			g.loop(depth)
+		case pick == 12 && depth < 3:
+			g.ifBlock(depth)
+		case pick == 13:
+			g.scoped(depth)
+		default:
+			g.alu()
+		}
+	}
+}
+
+func (g *gen) alu() {
+	rd, r1, r2 := g.dataReg(), g.dataReg(), g.dataReg()
+	switch g.rng.Intn(8) {
+	case 0:
+		g.b.Add(rd, r1, r2)
+	case 1:
+		g.b.Sub(rd, r1, r2)
+	case 2:
+		g.b.Mul(rd, r1, r2)
+	case 3:
+		g.b.Xor(rd, r1, r2)
+	case 4:
+		g.b.AndI(rd, r1, int64(g.rng.Intn(1<<12)))
+	case 5:
+		g.b.ShrI(rd, r1, int64(1+g.rng.Intn(8)))
+	case 6:
+		g.b.Slt(rd, r1, r2)
+	default:
+		g.b.AddI(rd, r1, int64(g.rng.Intn(64))-32)
+	}
+}
+
+func (g *gen) fence() {
+	switch g.rng.Intn(5) {
+	case 0:
+		g.b.Fence(isa.ScopeGlobal)
+	case 1:
+		g.b.Fence(isa.ScopeClass)
+	case 2:
+		g.b.FenceOrdered(isa.ScopeGlobal, isa.OrderSS)
+	case 3:
+		g.b.FenceOrdered(isa.ScopeClass, isa.OrderLL)
+	default:
+		// A flagged store followed by a set-scope fence (SetFlagged
+		// attaches to the next memory instruction, so it must come
+		// after the address computation).
+		g.address()
+		g.b.SetFlagged()
+		g.b.Store(isa.R13, 0, g.dataReg())
+		g.b.Fence(isa.ScopeSet)
+	}
+}
+
+func (g *gen) loop(depth int) {
+	counter := isa.R14
+	if depth > 0 {
+		counter = isa.R15
+	}
+	iters := int64(1 + g.rng.Intn(4))
+	top := g.label("loop")
+	g.b.MovI(counter, iters)
+	g.b.Label(top)
+	g.block(depth + 1)
+	g.b.AddI(counter, counter, -1)
+	g.b.Bne(counter, isa.R0, top)
+}
+
+func (g *gen) ifBlock(depth int) {
+	skip := g.label("skip")
+	g.b.Beq(g.dataReg(), g.dataReg(), skip)
+	g.block(depth + 1)
+	g.b.Label(skip)
+}
+
+// scoped wraps a sub-block in fs_start/fs_end with a class fence inside.
+func (g *gen) scoped(depth int) {
+	cid := int64(1 + g.rng.Intn(3))
+	g.b.FsStart(cid)
+	if depth < 2 {
+		g.block(depth + 1)
+	} else {
+		g.alu()
+	}
+	g.b.Fence(isa.ScopeClass)
+	g.b.FsEnd(cid)
+}

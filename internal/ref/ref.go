@@ -1,0 +1,160 @@
+// Package ref is a simple in-order, sequentially-consistent reference
+// interpreter for the mini-ISA. It serves two purposes:
+//
+//   - a differential-testing oracle: for single-threaded programs, the
+//     out-of-order core must produce exactly the same architectural state
+//     (registers and memory) as this interpreter, whatever reordering,
+//     speculation, or scoping it performed internally;
+//   - a fast functional mode for program development (no timing).
+package ref
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+)
+
+// State is the interpreter's architectural state.
+type State struct {
+	Regs [isa.NumRegs]int64
+	Mem  map[int64]int64 // word-addressable, sparse
+
+	// Steps is the number of instructions executed.
+	Steps int
+	// FencesExecuted counts fences (they are no-ops functionally).
+	FencesExecuted int
+	// ScopeDepth tracks fs_start/fs_end balance; ends non-zero if the
+	// program exits inside a scope.
+	ScopeDepth int
+}
+
+// Load reads a word (missing words read as zero).
+func (s *State) Load(addr int64) int64 { return s.Mem[norm(addr)] }
+
+// Store writes a word.
+func (s *State) Store(addr, val int64) { s.Mem[norm(addr)] = val }
+
+func norm(addr int64) int64 { return addr &^ 7 }
+
+// Run interprets prog from entryPC until Halt, running off the end, or
+// maxSteps. The initial registers and memory seed the state.
+func Run(prog *isa.Program, entryPC int, regs map[isa.Reg]int64, mem map[int64]int64, maxSteps int) (*State, error) {
+	st := &State{Mem: make(map[int64]int64, len(mem)+16)}
+	for r, v := range regs {
+		if r != isa.R0 {
+			st.Regs[r] = v
+		}
+	}
+	for a, v := range mem {
+		st.Mem[norm(a)] = v
+	}
+	pc := entryPC
+	for {
+		if st.Steps >= maxSteps {
+			return st, fmt.Errorf("ref: exceeded %d steps at pc %d", maxSteps, pc)
+		}
+		if pc < 0 || pc >= len(prog.Code) {
+			return st, nil // running off the end halts
+		}
+		in := prog.Code[pc]
+		st.Steps++
+		next := pc + 1
+		a := st.Regs[in.Rs1]
+		b := st.Regs[in.Rs2]
+		var v int64
+		writes := in.Writes()
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpHalt:
+			return st, nil
+		case isa.OpMovI:
+			v = in.Imm
+		case isa.OpAdd:
+			v = a + b
+		case isa.OpAddI:
+			v = a + in.Imm
+		case isa.OpSub:
+			v = a - b
+		case isa.OpMul:
+			v = a * b
+		case isa.OpDiv:
+			if b != 0 {
+				v = a / b
+			}
+		case isa.OpRem:
+			if b != 0 {
+				v = a % b
+			}
+		case isa.OpAnd:
+			v = a & b
+		case isa.OpAndI:
+			v = a & in.Imm
+		case isa.OpOr:
+			v = a | b
+		case isa.OpXor:
+			v = a ^ b
+		case isa.OpXorI:
+			v = a ^ in.Imm
+		case isa.OpShl:
+			v = a << (uint64(b) & 63)
+		case isa.OpShlI:
+			v = a << (uint64(in.Imm) & 63)
+		case isa.OpShr:
+			v = a >> (uint64(b) & 63)
+		case isa.OpShrI:
+			v = a >> (uint64(in.Imm) & 63)
+		case isa.OpSlt:
+			if a < b {
+				v = 1
+			}
+		case isa.OpSltI:
+			if a < in.Imm {
+				v = 1
+			}
+		case isa.OpSeq:
+			if a == b {
+				v = 1
+			}
+		case isa.OpLoad:
+			v = st.Load(a + in.Imm)
+		case isa.OpStore:
+			st.Store(a+in.Imm, b)
+		case isa.OpCAS:
+			addr := a + in.Imm
+			if st.Load(addr) == b {
+				st.Store(addr, st.Regs[in.Rs3])
+				v = 1
+			}
+		case isa.OpJmp:
+			next = int(in.Imm)
+		case isa.OpBeq:
+			if a == b {
+				next = int(in.Imm)
+			}
+		case isa.OpBne:
+			if a != b {
+				next = int(in.Imm)
+			}
+		case isa.OpBlt:
+			if a < b {
+				next = int(in.Imm)
+			}
+		case isa.OpBge:
+			if a >= b {
+				next = int(in.Imm)
+			}
+		case isa.OpFence:
+			st.FencesExecuted++
+		case isa.OpFsStart:
+			st.ScopeDepth++
+		case isa.OpFsEnd:
+			st.ScopeDepth--
+		default:
+			return st, fmt.Errorf("ref: unknown opcode %d at pc %d", in.Op, pc)
+		}
+		if writes {
+			st.Regs[in.Rd] = v
+		}
+		pc = next
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+)
+
+func traceProgram() *isa.Program {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 4096)
+	b.MovI(isa.R2, 5)
+	b.Store(isa.R1, 0, isa.R2)
+	b.Fence(isa.ScopeGlobal)
+	b.Load(isa.R3, isa.R1, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func runTraced(t *testing.T, tr cpu.Tracer) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg, traceProgram(), []machine.Thread{{Entry: "main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(m, tr)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextTracerOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTextTracer(&buf, 0)
+	runTraced(t, tr)
+	out := buf.String()
+	for _, want := range []string{"decode", "execute", "complete", "retire", "sb-issue", "sb-complete", "fence-stall", "store [r1+0], r2", "fence.global"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, firstLines(out, 20))
+		}
+	}
+	if tr.Lines() == 0 {
+		t.Error("no lines recorded")
+	}
+}
+
+func TestTextTracerCycleLimit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTextTracer(&buf, 2)
+	runTraced(t, tr)
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var cycle int64
+		if _, err := fmt.Sscan(line, &cycle); err == nil && cycle > 2 {
+			t.Errorf("event after the cycle limit: %q", line)
+		}
+	}
+}
+
+func TestCountingTracerEventBalance(t *testing.T) {
+	tr := NewCountingTracer()
+	runTraced(t, tr)
+	// Every committed instruction decoded and retired; no squashes in
+	// this straight-line program.
+	if tr.Count(cpu.TraceDecode) != tr.Count(cpu.TraceRetire) {
+		t.Errorf("decode %d != retire %d for a squash-free program",
+			tr.Count(cpu.TraceDecode), tr.Count(cpu.TraceRetire))
+	}
+	if tr.Count(cpu.TraceSquash) != 0 {
+		t.Errorf("unexpected squashes: %d", tr.Count(cpu.TraceSquash))
+	}
+	if tr.Count(cpu.TraceSBComplete) != 1 {
+		t.Errorf("sb completions = %d, want 1", tr.Count(cpu.TraceSBComplete))
+	}
+	if tr.Count(cpu.TraceFenceStall) == 0 {
+		t.Error("fence never stalled despite a draining store")
+	}
+}
+
+func TestSquashEventsOnMisprediction(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 0)
+	b.MovI(isa.R2, 8)
+	b.Label("loop")
+	b.AddI(isa.R1, isa.R1, 1)
+	b.Blt(isa.R1, isa.R2, "loop") // final iteration mispredicts
+	b.Halt()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg, b.MustBuild(), []machine.Thread{{Entry: "main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewCountingTracer()
+	Attach(m, tr)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(cpu.TraceSquash) == 0 {
+		t.Error("loop exit produced no squash events")
+	}
+}
+
+// Tracing must not change architectural results or timing.
+func TestTracingIsTransparent(t *testing.T) {
+	run := func(tr cpu.Tracer) int64 {
+		cfg := machine.DefaultConfig()
+		cfg.Cores = 1
+		m, err := machine.New(cfg, traceProgram(), []machine.Thread{{Entry: "main"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr != nil {
+			Attach(m, tr)
+		}
+		cycles, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	plain := run(nil)
+	traced := run(NewCountingTracer())
+	if plain != traced {
+		t.Errorf("tracing changed timing: %d vs %d cycles", plain, traced)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,241 @@
+// Package sfence is a Go reproduction of "Fence Scoping" (Lin, Nagarajan,
+// Gupta — SC '14): scoped fences (S-Fence) that only order memory accesses
+// within a programmer-declared scope, evaluated on a deterministic
+// cycle-level out-of-order multicore simulator with an RMO-like relaxed
+// memory model.
+//
+// This root package is the public facade. It re-exports the pieces a user
+// needs to:
+//
+//   - build programs in the mini-ISA (Builder, Program, scoped fences,
+//     fs_start/fs_end class brackets, set-scope flagged accesses),
+//   - run them on a simulated chip multiprocessor (NewMachine), and
+//   - run the paper's benchmarks and experiments (RunBenchmark,
+//     Benchmarks, and the Figure/Table functions).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package sfence
+
+import (
+	"io"
+
+	"sfence/internal/cpu"
+	"sfence/internal/exp"
+	"sfence/internal/isa"
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+	"sfence/internal/trace"
+)
+
+// Re-exported core types.
+type (
+	// Config aggregates the whole-machine parameters (Table III).
+	Config = machine.Config
+	// CoreConfig holds the out-of-order core and S-Fence hardware
+	// parameters (ROB, store buffer, FSB/FSS sizes, speculation).
+	CoreConfig = cpu.Config
+	// MemConfig holds the cache-hierarchy parameters.
+	MemConfig = memsys.Config
+	// Thread names a program entry point plus initial registers.
+	Thread = machine.Thread
+	// Machine is a running simulation instance.
+	Machine = machine.Machine
+	// Program is an assembled mini-ISA program.
+	Program = isa.Program
+	// Builder assembles programs (labels, macros, scoped fences).
+	Builder = isa.Builder
+	// Instruction is one decoded mini-ISA instruction.
+	Instruction = isa.Instruction
+	// Reg names an architectural register; R0 is hardwired to zero.
+	Reg = isa.Reg
+	// ScopeKind selects a fence's scope: global, class, or set.
+	ScopeKind = isa.ScopeKind
+	// FenceOrder selects the fence's ordering kind (full or store-store).
+	FenceOrder = isa.FenceOrder
+	// FSSRecovery selects the FSS branch-misprediction repair mechanism.
+	FSSRecovery = cpu.FSSRecovery
+	// CoreStats are the per-core execution statistics.
+	CoreStats = cpu.Stats
+	// FenceSite is one static fence's stall profile entry.
+	FenceSite = cpu.FenceSite
+
+	// BenchmarkInfo describes one of the paper's benchmarks (Table IV).
+	BenchmarkInfo = kernels.Info
+	// BenchmarkOptions parameterize a benchmark build.
+	BenchmarkOptions = kernels.Options
+	// BenchmarkResult summarizes one benchmark run.
+	BenchmarkResult = kernels.Result
+	// FenceMode selects traditional (global) or scoped fences.
+	FenceMode = kernels.FenceMode
+	// ScopeOverride forces class or set scope for Figure 14 comparisons.
+	ScopeOverride = kernels.ScopeOverride
+
+	// Scale selects experiment sizing (Quick or Full).
+	Scale = exp.Scale
+	// SpeedupSeries is one Figure 12 curve.
+	SpeedupSeries = exp.SpeedupSeries
+	// BenchGroup is one benchmark's bars in a grouped figure.
+	BenchGroup = exp.BenchGroup
+	// Bar is one stacked normalized-execution-time bar.
+	Bar = exp.Bar
+	// AblationRow is one point of an ablation sweep.
+	AblationRow = exp.AblationRow
+	// HardwareCostReport is the Section VI-E storage-cost model.
+	HardwareCostReport = exp.HardwareCostReport
+)
+
+// Fence scopes (the paper's three customized fence statements, Fig. 4).
+const (
+	ScopeGlobal = isa.ScopeGlobal
+	ScopeClass  = isa.ScopeClass
+	ScopeSet    = isa.ScopeSet
+)
+
+// Fence ordering kinds (Section VII: scoping composes with finer fences).
+const (
+	OrderFull = isa.OrderFull
+	OrderSS   = isa.OrderSS
+	OrderLL   = isa.OrderLL
+)
+
+// Fence modes for benchmark builds.
+const (
+	Traditional = kernels.Traditional
+	Scoped      = kernels.Scoped
+)
+
+// Scope overrides for Figure 14.
+const (
+	ScopeDefault = kernels.ScopeDefault
+	ForceClass   = kernels.ForceClass
+	ForceSet     = kernels.ForceSet
+)
+
+// Experiment scales.
+const (
+	Quick = exp.Quick
+	Full  = exp.Full
+)
+
+// FSS recovery mechanisms.
+const (
+	RecoverySnapshot = cpu.RecoverySnapshot
+	RecoveryShadow   = cpu.RecoveryShadow
+)
+
+// General-purpose register names. R0 always reads as zero.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	R13 = isa.R13
+	R14 = isa.R14
+	R15 = isa.R15
+	R16 = isa.R16
+	R17 = isa.R17
+	R18 = isa.R18
+	R19 = isa.R19
+	R20 = isa.R20
+	R21 = isa.R21
+	R22 = isa.R22
+	R23 = isa.R23
+	R24 = isa.R24
+	R25 = isa.R25
+	R26 = isa.R26
+	R27 = isa.R27
+	R28 = isa.R28
+	R29 = isa.R29
+	R30 = isa.R30
+	R31 = isa.R31
+)
+
+// DefaultConfig returns the paper's Table III machine configuration: an
+// 8-core out-of-order CMP with a 128-entry ROB, 32 KB L1 / 1 MB L2 /
+// 300-cycle memory, and 4-entry FSB and FSS.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return isa.NewBuilder() }
+
+// NewMachine builds a simulated machine running prog with the given
+// threads (thread i runs on core i).
+func NewMachine(cfg Config, prog *Program, threads []Thread) (*Machine, error) {
+	return machine.New(cfg, prog, threads)
+}
+
+// Benchmarks returns the paper's benchmark registry (Table IV).
+func Benchmarks() []BenchmarkInfo { return kernels.All() }
+
+// BuildBenchmark constructs a named benchmark.
+func BuildBenchmark(name string, opts BenchmarkOptions) (*kernels.Kernel, error) {
+	return kernels.Build(name, opts)
+}
+
+// RunBenchmark builds, runs, and verifies a named benchmark.
+func RunBenchmark(name string, opts BenchmarkOptions, cfg Config) (BenchmarkResult, error) {
+	return RunBenchmarkTraced(name, opts, cfg, nil)
+}
+
+// RunBenchmarkTraced is RunBenchmark with a pipeline tracer attached to
+// every core (nil disables tracing).
+func RunBenchmarkTraced(name string, opts BenchmarkOptions, cfg Config, tracer Tracer) (BenchmarkResult, error) {
+	k, err := kernels.Build(name, opts)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	return kernels.RunTraced(k, cfg, tracer)
+}
+
+// Tracer receives per-cycle pipeline events (see NewTextTracer).
+type Tracer = cpu.Tracer
+
+// TraceEvent identifies a pipeline event kind.
+type TraceEvent = cpu.TraceEvent
+
+// NewTextTracer returns a tracer writing one line per pipeline event to w;
+// events after limitCycles are dropped (0 = unlimited).
+func NewTextTracer(w io.Writer, limitCycles int64) Tracer {
+	return trace.NewTextTracer(w, limitCycles)
+}
+
+// AttachTracer installs a tracer on every core of a machine.
+func AttachTracer(m *Machine, t Tracer) { trace.Attach(m, t) }
+
+// Experiment entry points: one per table/figure of the paper.
+var (
+	Figure12     = exp.Figure12
+	Figure13     = exp.Figure13
+	Figure14     = exp.Figure14
+	Figure15     = exp.Figure15
+	Figure16     = exp.Figure16
+	HardwareCost = exp.HardwareCost
+	TableIII     = exp.TableIII
+	TableIV      = exp.TableIV
+
+	AblationFSBEntries      = exp.AblationFSBEntries
+	AblationFSSDepth        = exp.AblationFSSDepth
+	AblationStoreBuffer     = exp.AblationStoreBuffer
+	AblationFIFOStoreBuffer = exp.AblationFIFOStoreBuffer
+	AblationFinerFences     = exp.AblationFinerFences
+	AblationNestedScopes    = exp.AblationNestedScopes
+	AblationRecovery        = exp.AblationRecovery
+
+	RenderFigure12     = exp.RenderFigure12
+	RenderGroups       = exp.RenderGroups
+	RenderAblation     = exp.RenderAblation
+	RenderTableIII     = exp.RenderTableIII
+	RenderTableIV      = exp.RenderTableIV
+	RenderHardwareCost = exp.RenderHardwareCost
+)
