@@ -7,6 +7,8 @@
 //	sfence-bench -all            # everything, full scale
 //	sfence-bench -fig12 -quick   # just Figure 12, reduced sizing
 //	sfence-bench -table3 -table4 -hwcost
+//	sfence-bench -fig13 -json    # schema-versioned JSON envelope on stdout
+//	sfence-bench -all -progress  # per-experiment progress on stderr
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 		hwcost    = flag.Bool("hwcost", false, "Section VI-E: hardware cost")
 		ablations = flag.Bool("ablations", false, "design-choice ablations (beyond the paper)")
 		quick     = flag.Bool("quick", false, "reduced workload sizes")
+		asJSON    = flag.Bool("json", false, "emit schema-versioned JSON envelopes instead of ASCII")
+		progress  = flag.Bool("progress", false, "report per-experiment progress on stderr")
 	)
 	flag.Parse()
 
@@ -42,18 +46,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	// emit prints either the ASCII rendering or the JSON envelope.
+	emit := func(render func() string, encode func() ([]byte, error)) {
+		if !*asJSON {
+			fmt.Println(render())
+			return
+		}
+		data, err := encode()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(data)
+	}
+
+	if *progress {
+		sfence.SetExperimentProgress(func(experiment string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d", experiment, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
 
 	if *all || *table3 {
 		any = true
-		fmt.Println(sfence.RenderTableIII(sfence.DefaultConfig()))
+		emit(
+			func() string { return sfence.RenderTableIII(sfence.DefaultConfig()) },
+			func() ([]byte, error) { return sfence.TableIIIJSON(sfence.DefaultConfig(), sc) })
 	}
 	if *all || *table4 {
 		any = true
-		fmt.Println(sfence.RenderTableIV())
+		emit(sfence.RenderTableIV,
+			func() ([]byte, error) { return sfence.TableIVJSON(sc) })
 	}
 	if *all || *hwcost {
 		any = true
-		fmt.Println(sfence.RenderHardwareCost(sfence.HardwareCost(sfence.DefaultConfig().Core)))
+		rep := sfence.HardwareCost(sfence.DefaultConfig().Core)
+		emit(
+			func() string { return sfence.RenderHardwareCost(rep) },
+			func() ([]byte, error) { return sfence.HardwareCostJSON(rep, sc) })
 	}
 	if *all || *fig12 {
 		any = true
@@ -61,60 +92,55 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(sfence.RenderFigure12(series))
+		emit(
+			func() string { return sfence.RenderFigure12(series) },
+			func() ([]byte, error) { return sfence.Figure12JSON(series, sc) })
 	}
-	if *all || *fig13 {
+	type figure struct {
+		on    *bool
+		kind  string
+		title string
+		fn    func(sfence.Scale) ([]sfence.BenchGroup, error)
+	}
+	for _, f := range []figure{
+		{fig13, sfence.KindFigure13, "Figure 13 — Normalized execution time (T, S, T+, S+)", sfence.Figure13},
+		{fig14, sfence.KindFigure14, "Figure 14 — Class scope vs. set scope", sfence.Figure14},
+		{fig15, sfence.KindFigure15, "Figure 15 — Varying memory access latency (200/300/500 cycles)", sfence.Figure15},
+		{fig16, sfence.KindFigure16, "Figure 16 — Varying ROB size (64/128/256 entries)", sfence.Figure16},
+	} {
+		if !*all && !*f.on {
+			continue
+		}
 		any = true
-		groups, err := sfence.Figure13(sc)
+		groups, err := f.fn(sc)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(sfence.RenderGroups("Figure 13 — Normalized execution time (T, S, T+, S+)", groups))
-	}
-	if *all || *fig14 {
-		any = true
-		groups, err := sfence.Figure14(sc)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(sfence.RenderGroups("Figure 14 — Class scope vs. set scope", groups))
-	}
-	if *all || *fig15 {
-		any = true
-		groups, err := sfence.Figure15(sc)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(sfence.RenderGroups("Figure 15 — Varying memory access latency (200/300/500 cycles)", groups))
-	}
-	if *all || *fig16 {
-		any = true
-		groups, err := sfence.Figure16(sc)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(sfence.RenderGroups("Figure 16 — Varying ROB size (64/128/256 entries)", groups))
+		f := f
+		emit(
+			func() string { return sfence.RenderGroups(f.title, groups) },
+			func() ([]byte, error) { return sfence.GroupsJSON(f.kind, groups, sc) })
 	}
 	if *all || *ablations {
 		any = true
-		type abl struct {
-			title string
-			fn    func(sfence.Scale) ([]sfence.AblationRow, error)
-		}
-		for _, a := range []abl{
-			{"Ablation — FSB entry count", sfence.AblationFSBEntries},
-			{"Ablation — FSS depth", sfence.AblationFSSDepth},
-			{"Ablation — store buffer size", sfence.AblationStoreBuffer},
-			{"Ablation — FIFO (TSO-like) vs non-FIFO (RMO) store buffer", sfence.AblationFIFOStoreBuffer},
-			{"Ablation — store-store put fence (Section VII combination); 0=full, 1=SS", sfence.AblationFinerFences},
-			{"Ablation — nested-scope pressure (FSB sharing / FSS overflow)", sfence.AblationNestedScopes},
-			{"Ablation — FSS recovery: snapshot (0) vs paper shadow (1)", sfence.AblationRecovery},
-		} {
-			rows, err := a.fn(sc)
+		var sets []sfence.AblationSet
+		for _, a := range sfence.AblationSpecs() {
+			rows, err := a.Fn(sc)
 			if err != nil {
 				fail(err)
 			}
-			fmt.Println(sfence.RenderAblation(a.title, rows))
+			if *asJSON {
+				sets = append(sets, sfence.AblationSet{Name: a.Name, Title: a.Title, Rows: rows})
+				continue
+			}
+			fmt.Println(sfence.RenderAblation("Ablation — "+a.Title, rows))
+		}
+		if *asJSON {
+			data, err := sfence.AblationsJSON(sets, sc)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
 		}
 	}
 	if !any {

@@ -1,0 +1,91 @@
+// Command sfence-report runs the full evaluation suite and regenerates
+// the repository's paper-vs-measured record in one shot: EXPERIMENTS.md
+// plus the machine-readable BENCH_*.json envelopes.
+//
+// Simulations are memoized in a content-addressed run cache (disabled
+// with -no-cache), so experiments sharing baseline configurations are
+// simulated once, and a second invocation against a warm cache re-runs
+// nothing at all — the final "cache:" line reports exactly how many
+// simulations were executed vs. served from the cache.
+//
+// Examples:
+//
+//	sfence-report                 # full scale, cache under .sfence-cache
+//	sfence-report -quick          # CI-sized workloads
+//	sfence-report -out docs -cache /tmp/sfc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sfence"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced workload sizes")
+		out      = flag.String("out", ".", "directory for EXPERIMENTS.md and BENCH_*.json")
+		cacheDir = flag.String("cache", ".sfence-cache", "run-cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the run cache")
+		progress = flag.Bool("progress", true, "report per-experiment progress on stderr")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	sc := sfence.Full
+	if *quick {
+		sc = sfence.Quick
+	}
+	opts := sfence.SuiteOptions{Scale: sc}
+	if !*noCache {
+		cache, err := sfence.NewRunCache(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		opts.Cache = cache
+	}
+	if *progress {
+		opts.Progress = func(experiment string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d", experiment, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	suite, err := sfence.RunSuite(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	paths, err := suite.WriteArtifacts(*out)
+	if err != nil {
+		fail(err)
+	}
+	mdPath := filepath.Join(*out, "EXPERIMENTS.md")
+	if err := os.WriteFile(mdPath, []byte(suite.ExperimentsMD()), 0o644); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("wrote %s and %d JSON artifacts to %s\n", mdPath, len(paths), *out)
+	if suite.CacheStats != nil {
+		st := suite.CacheStats
+		fmt.Printf("cache: %d simulations run, %d hits (%d memory, %d disk)\n",
+			st.Misses, st.Hits, st.MemHits, st.DiskHits)
+		if st.WriteErrors > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d run records could not be persisted (results kept in memory)\n", st.WriteErrors)
+		}
+	} else {
+		fmt.Println("cache: disabled")
+	}
+}

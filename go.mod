@@ -1,0 +1,3 @@
+module sfence
+
+go 1.24

@@ -3,12 +3,14 @@ package cpu
 import "sort"
 
 // FenceSite aggregates the behaviour of one static fence instruction.
+// Sites travel inside kernels.Result, which the results pipeline caches
+// and serializes, so the JSON tags are part of the results schema.
 type FenceSite struct {
-	PC          int
-	Scope       string // rendered fence mnemonic
-	Executions  uint64 // committed executions
-	StallCycles uint64 // cycles this site blocked issue or retirement
-	IdleCycles  uint64 // stall cycles with an otherwise empty pipeline
+	PC          int    `json:"pc"`
+	Scope       string `json:"scope"`       // rendered fence mnemonic
+	Executions  uint64 `json:"executions"`  // committed executions
+	StallCycles uint64 `json:"stallCycles"` // cycles this site blocked issue or retirement
+	IdleCycles  uint64 `json:"idleCycles"`  // stall cycles with an otherwise empty pipeline
 }
 
 // fenceProfile accumulates per-PC fence statistics. Fences are few and

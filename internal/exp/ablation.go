@@ -8,11 +8,38 @@ import (
 
 // AblationRow is one configuration point of an ablation sweep.
 type AblationRow struct {
-	Bench  string
-	Param  string
-	Value  int
-	Cycles int64
-	Stall  float64 // fence-stall fraction
+	Bench  string  `json:"bench"`
+	Param  string  `json:"param"`
+	Value  int     `json:"value"`
+	Cycles int64   `json:"cycles"`
+	Stall  float64 `json:"stall"` // fence-stall fraction
+}
+
+// ablationJob pairs a prefilled row (Bench/Param/Value) with the
+// simulation that produces its measurements.
+type ablationJob struct {
+	row AblationRow
+	run figRun
+}
+
+// runAblation executes the jobs on the worker pool and fills in each
+// row's cycle count and fence-stall fraction, preserving job order.
+func runAblation(experiment string, jobs []ablationJob) ([]AblationRow, error) {
+	runs := make([]*figRun, len(jobs))
+	for i := range jobs {
+		runs[i] = &jobs[i].run
+	}
+	if err := execute(experiment, runs); err != nil {
+		return nil, err
+	}
+	out := make([]AblationRow, len(jobs))
+	for i := range jobs {
+		res := jobs[i].run.res
+		out[i] = jobs[i].row
+		out[i].Cycles = res.Cycles
+		out[i].Stall = res.FenceStallFraction()
+	}
+	return out, nil
 }
 
 // AblationFSBEntries sweeps the number of fence scope bits per entry
@@ -20,58 +47,55 @@ type AblationRow struct {
 // sweep shows that small FSBs force entry sharing (stricter ordering,
 // slightly slower) while more than 4 buys nothing for these workloads.
 func AblationFSBEntries(sc Scale) ([]AblationRow, error) {
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "pst"} {
 		for _, n := range []int{2, 3, 4, 8} {
 			cfg := baseConfig()
 			cfg.Core.FSBEntries = n
-			res, err := runOne(bench, kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AblationRow{bench, "FSBEntries", n, res.Cycles, res.FenceStallFraction()})
+			jobs = append(jobs, ablationJob{
+				row: AblationRow{Bench: bench, Param: "FSBEntries", Value: n},
+				run: figRun{bench: bench, opts: kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg: cfg},
+			})
 		}
 	}
-	return out, nil
+	return runAblation("Ablation FSBEntries", jobs)
 }
 
 // AblationFSSDepth sweeps the fence scope stack depth; depth 1 overflows
 // on every nested scope, demoting fences to full fences.
 func AblationFSSDepth(sc Scale) ([]AblationRow, error) {
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "msn"} {
 		for _, n := range []int{1, 2, 4} {
 			cfg := baseConfig()
 			cfg.Core.FSSEntries = n
-			res, err := runOne(bench, kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AblationRow{bench, "FSSEntries", n, res.Cycles, res.FenceStallFraction()})
+			jobs = append(jobs, ablationJob{
+				row: AblationRow{Bench: bench, Param: "FSSEntries", Value: n},
+				run: figRun{bench: bench, opts: kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg: cfg},
+			})
 		}
 	}
-	return out, nil
+	return runAblation("Ablation FSSEntries", jobs)
 }
 
 // AblationStoreBuffer sweeps store-buffer capacity: small buffers throttle
 // both fence flavors; larger buffers widen the traditional fence's drain
 // window and hence S-Fence's advantage.
 func AblationStoreBuffer(sc Scale) ([]AblationRow, error) {
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "barnes"} {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
 			for _, n := range []int{2, 8, 16} {
 				cfg := baseConfig()
 				cfg.Core.SBSize = n
-				res, err := runOne(bench, kernels.Options{Mode: mode, Ops: opsFor(bench, sc)}, cfg)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, AblationRow{bench + "/" + mode.String(), "SBSize", n, res.Cycles, res.FenceStallFraction()})
+				jobs = append(jobs, ablationJob{
+					row: AblationRow{Bench: bench + "/" + mode.String(), Param: "SBSize", Value: n},
+					run: figRun{bench: bench, opts: kernels.Options{Mode: mode, Ops: opsFor(bench, sc)}, cfg: cfg},
+				})
 			}
 		}
 	}
-	return out, nil
+	return runAblation("Ablation SBSize", jobs)
 }
 
 // AblationFIFOStoreBuffer compares the RMO (non-FIFO) store buffer with a
@@ -79,21 +103,20 @@ func AblationStoreBuffer(sc Scale) ([]AblationRow, error) {
 // the scoped fence's ability to skip out-of-scope stores matters less for
 // store-store ordering but still pays off at store-load fences.
 func AblationFIFOStoreBuffer(sc Scale) ([]AblationRow, error) {
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "barnes"} {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
 			for i, fifo := range []bool{false, true} {
 				cfg := baseConfig()
 				cfg.Core.FIFOStoreBuffer = fifo
-				res, err := runOne(bench, kernels.Options{Mode: mode, Ops: opsFor(bench, sc)}, cfg)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, AblationRow{bench + "/" + mode.String(), "FIFO", i, res.Cycles, res.FenceStallFraction()})
+				jobs = append(jobs, ablationJob{
+					row: AblationRow{Bench: bench + "/" + mode.String(), Param: "FIFO", Value: i},
+					run: figRun{bench: bench, opts: kernels.Options{Mode: mode, Ops: opsFor(bench, sc)}, cfg: cfg},
+				})
 			}
 		}
 	}
-	return out, nil
+	return runAblation("Ablation FIFO", jobs)
 }
 
 // AblationFinerFences measures the Section VII combination: the wsq put()
@@ -101,21 +124,20 @@ func AblationFIFOStoreBuffer(sc Scale) ([]AblationRow, error) {
 // so replacing it with a scoped store-store fence removes its issue stall
 // entirely. Value 0 = full fences, 1 = SS put fence.
 func AblationFinerFences(sc Scale) ([]AblationRow, error) {
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "pst"} {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
 			for i, finer := range []bool{false, true} {
-				res, err := runOne(bench, kernels.Options{
-					Mode: mode, Ops: opsFor(bench, sc), FinerFences: finer,
-				}, baseConfig())
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, AblationRow{bench + "/" + mode.String(), "SSPutFence", i, res.Cycles, res.FenceStallFraction()})
+				jobs = append(jobs, ablationJob{
+					row: AblationRow{Bench: bench + "/" + mode.String(), Param: "SSPutFence", Value: i},
+					run: figRun{bench: bench, opts: kernels.Options{
+						Mode: mode, Ops: opsFor(bench, sc), FinerFences: finer,
+					}, cfg: baseConfig()},
+				})
 			}
 		}
 	}
-	return out, nil
+	return runAblation("Ablation SSPutFence", jobs)
 }
 
 // AblationRecovery compares the exact snapshot FSS recovery with the
@@ -123,17 +145,16 @@ func AblationFinerFences(sc Scale) ([]AblationRow, error) {
 // guard); the shadow variant may demote some fences to full fences after
 // mispredictions.
 func AblationRecovery(sc Scale) ([]AblationRow, error) {
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "pst"} {
-		for i, rec := range []machine.Config{recCfg(0), recCfg(1)} {
-			res, err := runOne(bench, kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, rec)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AblationRow{bench, "Recovery", i, res.Cycles, res.FenceStallFraction()})
+		for i := 0; i < 2; i++ {
+			jobs = append(jobs, ablationJob{
+				row: AblationRow{Bench: bench, Param: "Recovery", Value: i},
+				run: figRun{bench: bench, opts: kernels.Options{Mode: kernels.Scoped, Ops: opsFor(bench, sc)}, cfg: recCfg(i)},
+			})
 		}
 	}
-	return out, nil
+	return runAblation("Ablation Recovery", jobs)
 }
 
 func recCfg(r int) machine.Config {

@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"sfence/internal/cpu"
 	"sfence/internal/kernels"
@@ -42,6 +43,8 @@ func opsFor(bench string, sc Scale) int {
 // threadsFor returns the per-benchmark thread count (Table III: 8 cores).
 func threadsFor(bench string) int {
 	switch bench {
+	case "nested-scope":
+		return 1
 	case "dekker":
 		return 2
 	case "wsq", "msn", "harris":
@@ -54,11 +57,46 @@ func threadsFor(bench string) int {
 // baseConfig is the Table III machine.
 func baseConfig() machine.Config { return machine.DefaultConfig() }
 
-// runOne builds and runs a benchmark under the given mode/config.
-func runOne(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
-	if opts.Threads == 0 {
-		opts.Threads = threadsFor(bench)
-	}
+// Runner executes one benchmark configuration. The default runner builds
+// the kernel and simulates it directly; results.RunCache installs a
+// memoizing runner through SetRunner so identical (benchmark, options,
+// machine) triples are simulated once across experiments.
+type Runner func(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error)
+
+// ProgressFunc receives per-experiment completion updates: done out of
+// total simulations have finished for the named experiment.
+type ProgressFunc func(experiment string, done, total int)
+
+var (
+	hookMu     sync.RWMutex
+	runnerHook Runner
+	progressFn ProgressFunc
+)
+
+// SetRunner routes every simulation in this package through r and returns
+// the previously installed runner. A nil r restores the direct runner.
+func SetRunner(r Runner) Runner {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	prev := runnerHook
+	runnerHook = r
+	return prev
+}
+
+// SetProgress installs a progress callback (invoked concurrently from the
+// worker pool) and returns the previous one. A nil p disables reporting.
+func SetProgress(p ProgressFunc) ProgressFunc {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	prev := progressFn
+	progressFn = p
+	return prev
+}
+
+// DirectRun builds and simulates one benchmark configuration, bypassing
+// any installed runner. This is what runOne does when no runner is set,
+// and what a memoizing runner calls on a cache miss.
+func DirectRun(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	k, err := kernels.Build(bench, opts)
 	if err != nil {
 		return kernels.Result{}, err
@@ -66,13 +104,28 @@ func runOne(bench string, opts kernels.Options, cfg machine.Config) (kernels.Res
 	return kernels.Run(k, cfg)
 }
 
+// runOne runs a benchmark under the given mode/config, after normalizing
+// the thread count so equivalent runs present identical cache keys.
+func runOne(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+	if opts.Threads == 0 {
+		opts.Threads = threadsFor(bench)
+	}
+	hookMu.RLock()
+	r := runnerHook
+	hookMu.RUnlock()
+	if r != nil {
+		return r(bench, opts, cfg)
+	}
+	return DirectRun(bench, opts, cfg)
+}
+
 // Bar is one stacked bar of a normalized-execution-time chart: the fence
 // stall portion and the rest, both normalized to the experiment's baseline
 // total time (the paper's presentation in Figures 13-16).
 type Bar struct {
-	Label      string
-	FenceStall float64
-	Others     float64
+	Label      string  `json:"label"`
+	FenceStall float64 `json:"fenceStall"`
+	Others     float64 `json:"others"`
 }
 
 // Total returns the bar height (normalized execution time).
@@ -87,9 +140,9 @@ func barFrom(label string, r kernels.Result, baselineCycles int64) Bar {
 
 // SpeedupSeries is one benchmark's curve in Figure 12.
 type SpeedupSeries struct {
-	Bench    string
-	Workload []int
-	Speedup  []float64
+	Bench    string    `json:"bench"`
+	Workload []int     `json:"workload"`
+	Speedup  []float64 `json:"speedup"`
 }
 
 // Peak returns the peak speedup and its workload level.
@@ -105,8 +158,8 @@ func (s SpeedupSeries) Peak() (float64, int) {
 
 // BenchGroup is one benchmark's bars in a grouped figure.
 type BenchGroup struct {
-	Bench string
-	Bars  []Bar
+	Bench string `json:"bench"`
+	Bars  []Bar  `json:"bars"`
 }
 
 // modeOpts builds options for the four paper configurations T, S, T+, S+.
@@ -130,13 +183,13 @@ func withSpec(cfg machine.Config, spec bool) machine.Config {
 // (Section VI-E): fence scope bits on every ROB and store-buffer entry,
 // the mapping table, and both fence scope stacks.
 type HardwareCostReport struct {
-	ROBFSBBits   int
-	SBFSBBits    int
-	MappingBits  int
-	FSSBits      int
-	TotalBits    int
-	TotalBytes   float64
-	PaperClaimOK bool // < 80 bytes per core for the Table III configuration
+	ROBFSBBits   int     `json:"robFSBBits"`
+	SBFSBBits    int     `json:"sbFSBBits"`
+	MappingBits  int     `json:"mappingBits"`
+	FSSBits      int     `json:"fssBits"`
+	TotalBits    int     `json:"totalBits"`
+	TotalBytes   float64 `json:"totalBytes"`
+	PaperClaimOK bool    `json:"paperClaimOK"` // < 80 bytes per core for the Table III configuration
 }
 
 // HardwareCost evaluates the cost model for a core configuration.
@@ -166,7 +219,10 @@ func HardwareCost(cfg cpu.Config) HardwareCostReport {
 }
 
 // TableIIIRow describes one architectural parameter.
-type TableIIIRow struct{ Parameter, Value string }
+type TableIIIRow struct {
+	Parameter string `json:"parameter"`
+	Value     string `json:"value"`
+}
 
 // TableIII returns the simulated machine's architectural parameters in
 // the paper's Table III layout.

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"strconv"
+	"sync/atomic"
 
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
@@ -15,8 +16,16 @@ type figRun struct {
 	res   kernels.Result
 }
 
-// execute fills in the res fields of all runs, in parallel.
-func execute(runs []*figRun) error {
+// execute fills in the res fields of all runs on the worker pool,
+// reporting per-experiment progress as simulations complete.
+func execute(experiment string, runs []*figRun) error {
+	hookMu.RLock()
+	progress := progressFn
+	hookMu.RUnlock()
+	var done atomic.Int64
+	if progress != nil {
+		progress(experiment, 0, len(runs))
+	}
 	jobs := make([]func() error, len(runs))
 	for i, r := range runs {
 		r := r
@@ -26,6 +35,9 @@ func execute(runs []*figRun) error {
 				return err
 			}
 			r.res = res
+			if progress != nil {
+				progress(experiment, int(done.Add(1)), len(runs))
+			}
 			return nil
 		}
 	}
@@ -54,7 +66,7 @@ func Figure12(sc Scale) ([]SpeedupSeries, error) {
 			}
 		}
 	}
-	if err := execute(runs); err != nil {
+	if err := execute("Figure 12", runs); err != nil {
 		return nil, err
 	}
 	out := make([]SpeedupSeries, 0, len(benches))
@@ -87,7 +99,7 @@ func Figure13(sc Scale) ([]BenchGroup, error) {
 			runs = append(runs, r)
 		}
 	}
-	if err := execute(runs); err != nil {
+	if err := execute("Figure 13", runs); err != nil {
 		return nil, err
 	}
 	out := make([]BenchGroup, 0, len(benches))
@@ -124,7 +136,7 @@ func Figure14(sc Scale) ([]BenchGroup, error) {
 			runs = append(runs, r)
 		}
 	}
-	if err := execute(runs); err != nil {
+	if err := execute("Figure 14", runs); err != nil {
 		return nil, err
 	}
 	out := make([]BenchGroup, 0, len(benches))
@@ -141,7 +153,7 @@ func Figure14(sc Scale) ([]BenchGroup, error) {
 
 // sweepFigure runs a T/S pair per parameter value per benchmark, with bars
 // normalized to the baseline value's traditional run.
-func sweepFigure(sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
+func sweepFigure(name string, sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
 	benches := []string{"pst", "ptc", "barnes", "radiosity"}
 	modes := []struct {
 		suffix string
@@ -161,7 +173,7 @@ func sweepFigure(sc Scale, values []int, baseline int, label func(int) string, a
 			}
 		}
 	}
-	if err := execute(runs); err != nil {
+	if err := execute(name, runs); err != nil {
 		return nil, err
 	}
 	baseIdx := 0
@@ -190,7 +202,7 @@ func sweepFigure(sc Scale, values []int, baseline int, label func(int) string, a
 // traditional run (the Table III default, matching the paper's
 // normalization to the traditional-fence total).
 func Figure15(sc Scale) ([]BenchGroup, error) {
-	return sweepFigure(sc, []int{200, 300, 500}, 300, intLabel,
+	return sweepFigure("Figure 15", sc, []int{200, 300, 500}, 300, intLabel,
 		func(cfg machine.Config, lat int) machine.Config {
 			cfg.Mem.MemLatency = lat
 			return cfg
@@ -201,7 +213,7 @@ func Figure15(sc Scale) ([]BenchGroup, error) {
 // buffers under traditional and scoped fences, normalized per benchmark to
 // the 128-entry traditional run.
 func Figure16(sc Scale) ([]BenchGroup, error) {
-	return sweepFigure(sc, []int{64, 128, 256}, 128, intLabel,
+	return sweepFigure("Figure 16", sc, []int{64, 128, 256}, 128, intLabel,
 		func(cfg machine.Config, size int) machine.Config {
 			cfg.Core.ROBSize = size
 			return cfg

@@ -3,89 +3,34 @@ package exp
 import (
 	"fmt"
 
-	"sfence/internal/isa"
-	"sfence/internal/machine"
+	"sfence/internal/kernels"
 )
 
-// nestedScopeProgram builds the scope-pressure microbenchmark: two nested
-// class scopes per iteration, where the outer scope performs a cold
-// (long-latency) store and the inner scope performs a warm store followed
-// by a class fence. With enough FSB entries the inner fence only waits for
-// the warm store; when class scopes must share one FSB entry (FSBEntries
-// == 2) the inner fence inherits the outer scope's cold store, and when
-// the FSS is too shallow (FSSEntries == 1) the inner fs_start overflows
-// and every fence degrades to a full fence.
-func nestedScopeProgram(iters int) *isa.Program {
-	b := isa.NewBuilder()
-	b.Entry("main")
-	b.MovI(isa.R1, 1<<16) // cold region base (outer scope)
-	b.MovI(isa.R2, 4096)  // warm word (inner scope)
-	b.MovI(isa.R3, 1)
-	b.MovI(isa.R4, int64(iters))
-	// Warm the inner word.
-	b.Store(isa.R2, 0, isa.R3)
-	b.Fence(isa.ScopeGlobal)
-	b.Label("loop")
-	b.FsStart(1)
-	b.AddI(isa.R1, isa.R1, 64) // fresh line each iteration
-	b.Store(isa.R1, 0, isa.R4) // outer-scope cold store
-	b.FsStart(2)
-	b.Store(isa.R2, 0, isa.R4) // inner-scope warm store
-	b.Fence(isa.ScopeClass)    // should wait only for the warm store
-	b.Load(isa.R5, isa.R2, 0)
-	b.FsEnd(2)
-	b.FsEnd(1)
-	b.AddI(isa.R4, isa.R4, -1)
-	b.Bne(isa.R4, isa.R0, "loop")
-	b.Halt()
-	return b.MustBuild()
-}
-
 // AblationNestedScopes sweeps the scope-hardware sizes on the
-// nested-scope microbenchmark, exposing the FSB entry-sharing and FSS
-// overflow fallbacks that the Table IV benchmarks (nesting depth 1) never
-// trigger.
+// nested-scope microbenchmark (the hidden "nested-scope" kernel),
+// exposing the FSB entry-sharing and FSS overflow fallbacks that the
+// Table IV benchmarks (nesting depth 1) never trigger. Like every other
+// experiment, the runs go through the worker pool, the runner hook, and
+// hence the run cache.
 func AblationNestedScopes(sc Scale) ([]AblationRow, error) {
 	iters := 60
 	if sc == Quick {
 		iters = 25
 	}
-	prog := nestedScopeProgram(iters)
-	run := func(fsb, fss int) (AblationRow, error) {
-		cfg := baseConfig()
-		cfg.Cores = 1
-		cfg.Core.FSBEntries = fsb
-		cfg.Core.FSSEntries = fss
-		m, err := machine.New(cfg, prog, []machine.Thread{{Entry: "main"}})
-		if err != nil {
-			return AblationRow{}, err
-		}
-		cycles, err := m.Run()
-		if err != nil {
-			return AblationRow{}, err
-		}
-		tot := m.TotalStats()
-		stall := 0.0
-		if tot.Cycles > 0 {
-			stall = float64(tot.FenceIdleCycles) / float64(tot.Cycles)
-		}
-		return AblationRow{
-			Bench:  fmt.Sprintf("nested/fsb%d", fsb),
-			Param:  "FSSEntries",
-			Value:  fss,
-			Cycles: cycles,
-			Stall:  stall,
-		}, nil
-	}
-	var out []AblationRow
+	var jobs []ablationJob
 	for _, fsb := range []int{2, 3, 4} {
 		for _, fss := range []int{1, 2, 4} {
-			row, err := run(fsb, fss)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, row)
+			cfg := baseConfig()
+			cfg.Cores = 1
+			cfg.Core.FSBEntries = fsb
+			cfg.Core.FSSEntries = fss
+			jobs = append(jobs, ablationJob{
+				row: AblationRow{Bench: fmt.Sprintf("nested/fsb%d", fsb), Param: "FSSEntries", Value: fss},
+				run: figRun{bench: "nested-scope", opts: kernels.Options{
+					Mode: kernels.Scoped, Ops: iters,
+				}, cfg: cfg},
+			})
 		}
 	}
-	return out, nil
+	return runAblation("Ablation NestedScopes", jobs)
 }

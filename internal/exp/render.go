@@ -63,23 +63,42 @@ func RenderAblation(title string, rows []AblationRow) string {
 	return sb.String()
 }
 
-// RenderTableIII formats the architectural-parameter table.
-func RenderTableIII(cfg machine.Config) string {
+// RenderTableIIIRows formats already-derived Table III rows; it is the
+// single source of the table's layout (internal/results renders stored
+// rows through it).
+func RenderTableIIIRows(rows []TableIIIRow) string {
 	var sb strings.Builder
 	sb.WriteString("Table III — Architectural parameters\n")
-	for _, row := range TableIII(cfg) {
+	for _, row := range rows {
 		sb.WriteString(fmt.Sprintf("  %-20s %s\n", row.Parameter, row.Value))
 	}
 	return sb.String()
+}
+
+// RenderTableIII formats the architectural-parameter table for a config.
+func RenderTableIII(cfg machine.Config) string {
+	return RenderTableIIIRows(TableIII(cfg))
+}
+
+// TableIVHeader and TableIVLine define the Table IV row layout, shared
+// between the live-registry renderer below and internal/results (which
+// renders its serializable mirror records).
+func TableIVHeader() string {
+	return TableIVLine("bench", "type", "group", "description")
+}
+
+// TableIVLine formats one Table IV row.
+func TableIVLine(name, scopeType, group, description string) string {
+	return fmt.Sprintf("  %-11s%-7s%-11s%s\n", name, scopeType, group, description)
 }
 
 // RenderTableIV formats the benchmark-description table.
 func RenderTableIV() string {
 	var sb strings.Builder
 	sb.WriteString("Table IV — Benchmark description\n")
-	sb.WriteString(fmt.Sprintf("  %-11s%-7s%-11s%s\n", "bench", "type", "group", "description"))
+	sb.WriteString(TableIVHeader())
 	for _, info := range TableIV() {
-		sb.WriteString(fmt.Sprintf("  %-11s%-7s%-11s%s\n", info.Name, info.ScopeType, info.Group, info.Description))
+		sb.WriteString(TableIVLine(info.Name, info.ScopeType, info.Group, info.Description))
 	}
 	return sb.String()
 }

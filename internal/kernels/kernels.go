@@ -46,27 +46,29 @@ const (
 	ForceSet
 )
 
-// Options parameterize a kernel build.
+// Options parameterize a kernel build. The JSON tags are part of the
+// results schema: options are hashed into run-cache keys and stored in
+// run records and BENCH_*.json artifacts (see internal/results).
 type Options struct {
-	Mode  FenceMode
-	Scope ScopeOverride
+	Mode  FenceMode     `json:"mode"`
+	Scope ScopeOverride `json:"scope"`
 
 	// Threads is the number of hardware threads to use (0 = kernel
 	// default, bounded by the machine's core count at run time).
-	Threads int
+	Threads int `json:"threads"`
 	// Ops scales the kernel's main operation count (0 = default).
-	Ops int
+	Ops int `json:"ops"`
 	// Workload is the between-operations computation knob of the
 	// paper's Figure 12 harness (arbitrary units, 0 = kernel default).
-	Workload int
+	Workload int `json:"workload"`
 	// Seed drives all randomized inputs deterministically.
-	Seed int64
+	Seed int64 `json:"seed"`
 
 	// FinerFences uses store-store fences where the algorithm only needs
 	// store-store ordering (the paper's Fig. 2 put() "storestore"
 	// comment), combining fence scoping with finer fence kinds as
 	// Section VII suggests. Applies to wsq-based kernels.
-	FinerFences bool
+	FinerFences bool `json:"finerFences"`
 }
 
 func (o Options) withDefaults(threads, ops, workload int) Options {
@@ -107,8 +109,12 @@ type Info struct {
 	Name        string
 	ScopeType   string // "class" or "set"
 	Description string
-	Group       string // "lock-free" or "full-app"
+	Group       string // "lock-free", "full-app", or "micro"
 	Build       Builder
+	// Hidden excludes the benchmark from All() (and hence Table IV):
+	// microbenchmarks that exist for ablations, not the paper's tables.
+	// Lookup and Build still resolve hidden benchmarks by name.
+	Hidden bool
 }
 
 var registry []Info
@@ -117,10 +123,15 @@ func register(info Info) {
 	registry = append(registry, info)
 }
 
-// All returns benchmark metadata in a stable order (Table IV order).
+// All returns benchmark metadata in a stable order (Table IV order),
+// excluding hidden microbenchmarks.
 func All() []Info {
-	out := make([]Info, len(registry))
-	copy(out, registry)
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		if !info.Hidden {
+			out = append(out, info)
+		}
+	}
 	sort.SliceStable(out, func(i, j int) bool { return tableOrder(out[i].Name) < tableOrder(out[j].Name) })
 	return out
 }
@@ -154,24 +165,26 @@ func Build(name string, opts Options) (*Kernel, error) {
 	return info.Build(opts)
 }
 
-// Result summarizes one kernel run.
+// Result summarizes one kernel run. Results are memoized on disk by the
+// run cache and embedded in JSON artifacts, so the JSON tags are part of
+// the results schema.
 type Result struct {
-	Cycles     int64
-	FenceStall uint64 // summed across cores
-	CoreCycles uint64 // summed active cycles across cores
-	Stats      machineStats
+	Cycles     int64        `json:"cycles"`
+	FenceStall uint64       `json:"fenceStall"` // summed across cores
+	CoreCycles uint64       `json:"coreCycles"` // summed active cycles across cores
+	Stats      machineStats `json:"stats"`
 
 	// Profile is the per-static-fence stall profile, merged across
 	// cores and sorted by stall cycles.
-	Profile []cpu.FenceSite
+	Profile []cpu.FenceSite `json:"profile"`
 }
 
 type machineStats struct {
-	Committed       uint64
-	CommittedFences uint64
-	Mispredicts     uint64
-	L1Misses        uint64
-	L2Misses        uint64
+	Committed       uint64 `json:"committed"`
+	CommittedFences uint64 `json:"committedFences"`
+	Mispredicts     uint64 `json:"mispredicts"`
+	L1Misses        uint64 `json:"l1Misses"`
+	L2Misses        uint64 `json:"l2Misses"`
 }
 
 // FenceStallFraction is the fence-stall share of total core time — the

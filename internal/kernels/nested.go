@@ -1,0 +1,63 @@
+package kernels
+
+import (
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+)
+
+func init() {
+	register(Info{
+		Name:      "nested-scope",
+		ScopeType: "class",
+		Group:     "micro",
+		Description: "Nested class-scope pressure microbenchmark: an outer scope with a cold " +
+			"store around an inner scope with a warm store and a class fence, exposing FSB " +
+			"entry sharing and FSS overflow (not part of the paper's Table IV)",
+		Hidden: true,
+		Build:  buildNestedScope,
+	})
+}
+
+// buildNestedScope assembles the scope-pressure microbenchmark: two
+// nested class scopes per iteration, where the outer scope performs a
+// cold (long-latency) store and the inner scope performs a warm store
+// followed by a class fence. With enough FSB entries the inner fence
+// only waits for the warm store; when class scopes must share one FSB
+// entry (FSBEntries == 2) the inner fence inherits the outer scope's
+// cold store, and when the FSS is too shallow (FSSEntries == 1) the
+// inner fs_start overflows and every fence degrades to a full fence.
+// Ops is the iteration count; the kernel is single-threaded.
+func buildNestedScope(opts Options) (*Kernel, error) {
+	opts = opts.withDefaults(1, 60, 0)
+	b := isa.NewBuilder()
+	b.Entry("main")
+	b.MovI(isa.R1, 1<<16) // cold region base (outer scope)
+	b.MovI(isa.R2, 4096)  // warm word (inner scope)
+	b.MovI(isa.R3, 1)
+	b.MovI(isa.R4, int64(opts.Ops))
+	// Warm the inner word.
+	b.Store(isa.R2, 0, isa.R3)
+	b.Fence(isa.ScopeGlobal)
+	b.Label("loop")
+	b.FsStart(1)
+	b.AddI(isa.R1, isa.R1, 64) // fresh line each iteration
+	b.Store(isa.R1, 0, isa.R4) // outer-scope cold store
+	b.FsStart(2)
+	b.Store(isa.R2, 0, isa.R4) // inner-scope warm store
+	b.Fence(isa.ScopeClass)    // should wait only for the warm store
+	b.Load(isa.R5, isa.R2, 0)
+	b.FsEnd(2)
+	b.FsEnd(1)
+	b.AddI(isa.R4, isa.R4, -1)
+	b.Bne(isa.R4, isa.R0, "loop")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{
+		Name:    "nested-scope",
+		Program: prog,
+		Threads: []machine.Thread{{Entry: "main"}},
+	}, nil
+}

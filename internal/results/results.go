@@ -1,0 +1,178 @@
+// Package results is the structured results pipeline for the paper's
+// evaluation: typed, schema-versioned JSON records for every figure,
+// table, and ablation (the BENCH_*.json artifacts), a content-addressed
+// run cache that memoizes simulations across experiments, and the
+// generator for EXPERIMENTS.md — the paper-claimed vs. measured record
+// promised by the root package documentation.
+//
+// The package sits above internal/exp (it consumes the experiment
+// functions' structured outputs) and hooks below it (the RunCache
+// installs itself as the exp runner), so experiments themselves stay
+// unaware of serialization or caching.
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"sfence/internal/exp"
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// SchemaVersion is bumped whenever the JSON layout of envelopes or cached
+// run records changes incompatibly; readers must reject other versions.
+const SchemaVersion = 1
+
+// Paper identifies the reproduced paper in every envelope.
+const Paper = "conf_sc_LinNG14 (Fence Scoping, Lin/Nagarajan/Gupta, SC '14)"
+
+// Envelope wraps one experiment's data with provenance: schema version,
+// paper id, the experiment kind, a human title, and the scale it ran at.
+// Envelopes are what the BENCH_*.json artifacts contain.
+type Envelope[T any] struct {
+	Schema int    `json:"schema"`
+	Paper  string `json:"paper"`
+	Kind   string `json:"kind"`
+	Title  string `json:"title"`
+	Scale  string `json:"scale"`
+	Data   T      `json:"data"`
+}
+
+// NewEnvelope builds an envelope at the current schema version.
+func NewEnvelope[T any](kind, title string, sc exp.Scale, data T) Envelope[T] {
+	return Envelope[T]{
+		Schema: SchemaVersion,
+		Paper:  Paper,
+		Kind:   kind,
+		Title:  title,
+		Scale:  ScaleName(sc),
+		Data:   data,
+	}
+}
+
+// Marshal renders v as indented JSON with a trailing newline. The output
+// is deterministic for a given value, so artifacts regenerated from
+// identical measurements are byte-identical.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope previously produced by Marshal, rejecting
+// foreign schema versions.
+func Unmarshal[T any](data []byte) (Envelope[T], error) {
+	var env Envelope[T]
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope[T]{}, err
+	}
+	if env.Schema != SchemaVersion {
+		return Envelope[T]{}, fmt.Errorf("results: envelope schema %d, want %d", env.Schema, SchemaVersion)
+	}
+	return env, nil
+}
+
+// ScaleName names an experiment scale for envelopes and reports.
+func ScaleName(sc exp.Scale) string {
+	if sc == exp.Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// AblationSet is one ablation sweep's identity plus its rows.
+type AblationSet struct {
+	Name  string            `json:"name"`
+	Title string            `json:"title"`
+	Rows  []exp.AblationRow `json:"rows"`
+}
+
+// BenchmarkInfo is the JSON-safe mirror of kernels.Info (which carries a
+// non-serializable builder function) for the Table IV artifact.
+type BenchmarkInfo struct {
+	Name        string `json:"name"`
+	ScopeType   string `json:"scopeType"`
+	Group       string `json:"group"`
+	Description string `json:"description"`
+}
+
+// TableIVInfos converts the registry metadata into serializable records.
+func TableIVInfos() []BenchmarkInfo {
+	infos := kernels.All()
+	out := make([]BenchmarkInfo, len(infos))
+	for i, info := range infos {
+		out[i] = BenchmarkInfo{
+			Name:        info.Name,
+			ScopeType:   info.ScopeType,
+			Group:       info.Group,
+			Description: info.Description,
+		}
+	}
+	return out
+}
+
+// Envelope kinds, one per artifact.
+const (
+	KindFigure12     = "figure12"
+	KindFigure13     = "figure13"
+	KindFigure14     = "figure14"
+	KindFigure15     = "figure15"
+	KindFigure16     = "figure16"
+	KindAblations    = "ablations"
+	KindTableIII     = "tableIII"
+	KindTableIV      = "tableIV"
+	KindHardwareCost = "hardware-cost"
+)
+
+// Titles for the envelope kinds (also used as report section headers).
+var kindTitles = map[string]string{
+	KindFigure12:     "Figure 12 — Impact of workload",
+	KindFigure13:     "Figure 13 — Performance on full applications (T, S, T+, S+)",
+	KindFigure14:     "Figure 14 — Class scope vs. set scope",
+	KindFigure15:     "Figure 15 — Varying memory access latency (200/300/500 cycles)",
+	KindFigure16:     "Figure 16 — Varying ROB size (64/128/256 entries)",
+	KindAblations:    "Ablations — design-choice sweeps beyond the paper",
+	KindTableIII:     "Table III — Architectural parameters",
+	KindTableIV:      "Table IV — Benchmark description",
+	KindHardwareCost: "Section VI-E — Hardware cost per core",
+}
+
+// Figure12JSON renders the Figure 12 artifact.
+func Figure12JSON(series []exp.SpeedupSeries, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindFigure12, kindTitles[KindFigure12], sc, series))
+}
+
+// GroupsJSON renders a grouped-bar figure artifact (Figures 13-16).
+func GroupsJSON(kind string, groups []exp.BenchGroup, sc exp.Scale) ([]byte, error) {
+	title, ok := kindTitles[kind]
+	if !ok {
+		return nil, fmt.Errorf("results: unknown figure kind %q", kind)
+	}
+	return Marshal(NewEnvelope(kind, title, sc, groups))
+}
+
+// AblationsJSON renders the combined ablation artifact.
+func AblationsJSON(sets []AblationSet, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindAblations, kindTitles[KindAblations], sc, sets))
+}
+
+// TableIIIJSON renders the architectural-parameter artifact.
+func TableIIIJSON(cfg machine.Config, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindTableIII, kindTitles[KindTableIII], sc, exp.TableIII(cfg)))
+}
+
+// TableIVJSON renders the benchmark-description artifact.
+func TableIVJSON(sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindTableIV, kindTitles[KindTableIV], sc, TableIVInfos()))
+}
+
+// HardwareCostJSON renders the Section VI-E cost-model artifact.
+func HardwareCostJSON(rep exp.HardwareCostReport, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindHardwareCost, kindTitles[KindHardwareCost], sc, rep))
+}

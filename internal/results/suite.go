@@ -1,0 +1,211 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sfence/internal/cpu"
+	"sfence/internal/exp"
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// SuiteOptions parameterize a full evaluation run.
+type SuiteOptions struct {
+	// Scale selects Quick or Full experiment sizing.
+	Scale exp.Scale
+	// Cache, when non-nil, memoizes every simulation (and is installed as
+	// the exp runner for the duration of the run).
+	Cache *RunCache
+	// Progress, when non-nil, receives per-experiment completion updates
+	// from the worker pool.
+	Progress exp.ProgressFunc
+}
+
+// Suite holds every structured result of the paper's evaluation section
+// plus the repository's extra ablations — the full input to both the
+// BENCH_*.json artifacts and EXPERIMENTS.md.
+type Suite struct {
+	Scale        exp.Scale
+	Figure12     []exp.SpeedupSeries
+	Figure13     []exp.BenchGroup
+	Figure14     []exp.BenchGroup
+	Figure15     []exp.BenchGroup
+	Figure16     []exp.BenchGroup
+	Ablations    []AblationSet
+	HardwareCost exp.HardwareCostReport
+	TableIII     []exp.TableIIIRow
+	TableIV      []BenchmarkInfo
+
+	// SimRequests and SimDistinct count the simulations the experiments
+	// asked for and the distinct configurations among them. Both are
+	// properties of the suite alone — independent of cache presence or
+	// warmth — so EXPERIMENTS.md can report them and stay diff-clean.
+	SimRequests int
+	SimDistinct int
+
+	// CacheStats is the cache traffic observed during this run (nil when
+	// the suite ran uncached).
+	CacheStats *CacheStats
+}
+
+// AblationSpec names one ablation sweep: its artifact identity and the
+// experiment function producing its rows.
+type AblationSpec struct {
+	Name  string
+	Title string
+	Fn    func(exp.Scale) ([]exp.AblationRow, error)
+}
+
+// AblationSpecs lists the ablation sweeps in presentation order. It is
+// the single registry shared by RunSuite, sfence-report, and
+// sfence-bench, so every producer emits identical artifact identities.
+func AblationSpecs() []AblationSpec {
+	return []AblationSpec{
+		{"fsb-entries", "FSB entry count", exp.AblationFSBEntries},
+		{"fss-depth", "FSS depth", exp.AblationFSSDepth},
+		{"store-buffer", "Store buffer size", exp.AblationStoreBuffer},
+		{"fifo-store-buffer", "FIFO (TSO-like) vs non-FIFO (RMO) store buffer", exp.AblationFIFOStoreBuffer},
+		{"finer-fences", "Store-store put fence (Section VII combination); 0=full, 1=SS", exp.AblationFinerFences},
+		{"nested-scopes", "Nested-scope pressure (FSB sharing / FSS overflow)", exp.AblationNestedScopes},
+		{"fss-recovery", "FSS recovery: snapshot (0) vs paper shadow (1)", exp.AblationRecovery},
+	}
+}
+
+// RunSuite executes every experiment at the given scale. Deltas of the
+// cache counters across the run are recorded in the returned suite.
+func RunSuite(opts SuiteOptions) (*Suite, error) {
+	// Count requested simulations and distinct configurations on the way
+	// through, so the suite knows its own shape regardless of how many
+	// requests the cache absorbed.
+	var mu sync.Mutex
+	requests := 0
+	seen := map[string]struct{}{}
+	var base exp.Runner
+	counting := func(bench string, kopts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+		mu.Lock()
+		requests++
+		seen[Key(bench, kopts, cfg)] = struct{}{}
+		mu.Unlock()
+		return base(bench, kopts, cfg)
+	}
+	prevRunner := exp.SetRunner(counting)
+	defer exp.SetRunner(prevRunner)
+	var before CacheStats
+	switch {
+	case opts.Cache != nil:
+		before = opts.Cache.Stats()
+		base = opts.Cache.Run
+	case prevRunner != nil:
+		// Respect a runner the caller installed (e.g. cache.Install()).
+		base = prevRunner
+	default:
+		base = exp.DirectRun
+	}
+	if opts.Progress != nil {
+		prev := exp.SetProgress(opts.Progress)
+		defer exp.SetProgress(prev)
+	}
+
+	s := &Suite{
+		Scale:        opts.Scale,
+		HardwareCost: exp.HardwareCost(cpu.DefaultConfig()),
+		TableIII:     exp.TableIII(machine.DefaultConfig()),
+		TableIV:      TableIVInfos(),
+	}
+	var err error
+	if s.Figure12, err = exp.Figure12(opts.Scale); err != nil {
+		return nil, fmt.Errorf("results: figure 12: %w", err)
+	}
+	if s.Figure13, err = exp.Figure13(opts.Scale); err != nil {
+		return nil, fmt.Errorf("results: figure 13: %w", err)
+	}
+	if s.Figure14, err = exp.Figure14(opts.Scale); err != nil {
+		return nil, fmt.Errorf("results: figure 14: %w", err)
+	}
+	if s.Figure15, err = exp.Figure15(opts.Scale); err != nil {
+		return nil, fmt.Errorf("results: figure 15: %w", err)
+	}
+	if s.Figure16, err = exp.Figure16(opts.Scale); err != nil {
+		return nil, fmt.Errorf("results: figure 16: %w", err)
+	}
+	for _, spec := range AblationSpecs() {
+		rows, err := spec.Fn(opts.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("results: ablation %s: %w", spec.Name, err)
+		}
+		s.Ablations = append(s.Ablations, AblationSet{Name: spec.Name, Title: spec.Title, Rows: rows})
+	}
+	s.SimRequests = requests
+	s.SimDistinct = len(seen)
+	if opts.Cache != nil {
+		after := opts.Cache.Stats()
+		s.CacheStats = &CacheStats{
+			Hits:        after.Hits - before.Hits,
+			MemHits:     after.MemHits - before.MemHits,
+			DiskHits:    after.DiskHits - before.DiskHits,
+			Misses:      after.Misses - before.Misses,
+			WriteErrors: after.WriteErrors - before.WriteErrors,
+		}
+	}
+	return s, nil
+}
+
+// Artifact is one named JSON results file.
+type Artifact struct {
+	Name string
+	Data []byte
+}
+
+// Artifacts renders the suite's BENCH_*.json file set from the stored
+// results.
+func (s *Suite) Artifacts() ([]Artifact, error) {
+	type gen struct {
+		name string
+		fn   func() ([]byte, error)
+	}
+	gens := []gen{
+		{"BENCH_FIG12.json", func() ([]byte, error) { return Figure12JSON(s.Figure12, s.Scale) }},
+		{"BENCH_FIG13.json", func() ([]byte, error) { return GroupsJSON(KindFigure13, s.Figure13, s.Scale) }},
+		{"BENCH_FIG14.json", func() ([]byte, error) { return GroupsJSON(KindFigure14, s.Figure14, s.Scale) }},
+		{"BENCH_FIG15.json", func() ([]byte, error) { return GroupsJSON(KindFigure15, s.Figure15, s.Scale) }},
+		{"BENCH_FIG16.json", func() ([]byte, error) { return GroupsJSON(KindFigure16, s.Figure16, s.Scale) }},
+		{"BENCH_ABLATIONS.json", func() ([]byte, error) { return AblationsJSON(s.Ablations, s.Scale) }},
+		{"BENCH_TABLE3.json", func() ([]byte, error) {
+			return Marshal(NewEnvelope(KindTableIII, kindTitles[KindTableIII], s.Scale, s.TableIII))
+		}},
+		{"BENCH_TABLE4.json", func() ([]byte, error) {
+			return Marshal(NewEnvelope(KindTableIV, kindTitles[KindTableIV], s.Scale, s.TableIV))
+		}},
+		{"BENCH_HWCOST.json", func() ([]byte, error) { return HardwareCostJSON(s.HardwareCost, s.Scale) }},
+	}
+	out := make([]Artifact, 0, len(gens))
+	for _, g := range gens {
+		data, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("results: %s: %w", g.name, err)
+		}
+		out = append(out, Artifact{Name: g.name, Data: data})
+	}
+	return out, nil
+}
+
+// WriteArtifacts writes the BENCH_*.json set into dir and returns the
+// file paths written.
+func (s *Suite) WriteArtifacts(dir string) ([]string, error) {
+	arts, err := s.Artifacts()
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(arts))
+	for _, a := range arts {
+		p := filepath.Join(dir, a.Name)
+		if err := os.WriteFile(p, a.Data, 0o644); err != nil {
+			return nil, fmt.Errorf("results: write %s: %w", p, err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

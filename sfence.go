@@ -26,6 +26,7 @@ import (
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/results"
 	"sfence/internal/trace"
 )
 
@@ -238,4 +239,86 @@ var (
 	RenderTableIII     = exp.RenderTableIII
 	RenderTableIV      = exp.RenderTableIV
 	RenderHardwareCost = exp.RenderHardwareCost
+)
+
+// Structured results pipeline (see internal/results): schema-versioned
+// JSON artifacts, a content-addressed run cache, and the EXPERIMENTS.md
+// generator used by cmd/sfence-report.
+type (
+	// RunCache memoizes simulations content-addressed by
+	// (machine config, kernel name, kernel options).
+	RunCache = results.RunCache
+	// CacheStats counts run-cache hits and misses.
+	CacheStats = results.CacheStats
+	// Suite holds every structured result of the evaluation suite.
+	Suite = results.Suite
+	// SuiteOptions parameterize RunSuite.
+	SuiteOptions = results.SuiteOptions
+	// AblationSet is one ablation sweep's identity plus rows.
+	AblationSet = results.AblationSet
+	// AblationSpecEntry names one ablation sweep in the shared registry.
+	AblationSpecEntry = results.AblationSpec
+	// ResultArtifact is one named BENCH_*.json file.
+	ResultArtifact = results.Artifact
+	// ResultClaim is one machine-checkable paper claim.
+	ResultClaim = results.Claim
+	// ExperimentRunner executes one benchmark configuration for the
+	// experiment layer (see SetExperimentRunner).
+	ExperimentRunner = exp.Runner
+	// ExperimentProgress receives per-experiment completion updates.
+	ExperimentProgress = exp.ProgressFunc
+)
+
+// ResultsSchemaVersion is the JSON schema version of every envelope and
+// cached run record.
+const ResultsSchemaVersion = results.SchemaVersion
+
+// NewRunCache returns a run cache persisting records under dir (created
+// if missing); an empty dir yields a memory-only cache.
+func NewRunCache(dir string) (*RunCache, error) { return results.NewRunCache(dir) }
+
+// NewMemCache returns an in-process-only run cache.
+func NewMemCache() *RunCache { return results.NewMemCache() }
+
+// RunSuite executes the full evaluation suite.
+func RunSuite(opts SuiteOptions) (*Suite, error) { return results.RunSuite(opts) }
+
+// PaperClaims returns the machine-checkable claim checklist that
+// EXPERIMENTS.md scores the measured results against.
+func PaperClaims() []ResultClaim { return results.Claims() }
+
+// AblationSpecs returns the shared ablation registry, so every consumer
+// (sfence-bench, sfence-report, RunSuite) emits identical artifact
+// identities.
+func AblationSpecs() []AblationSpecEntry { return results.AblationSpecs() }
+
+// Experiment-layer hooks and JSON artifact encoders.
+var (
+	// SetExperimentRunner routes every experiment simulation through a
+	// custom runner (a RunCache's Install method uses this); it returns
+	// the previous runner.
+	SetExperimentRunner = exp.SetRunner
+	// SetExperimentProgress installs a per-experiment progress callback
+	// and returns the previous one.
+	SetExperimentProgress = exp.SetProgress
+
+	Figure12JSON     = results.Figure12JSON
+	GroupsJSON       = results.GroupsJSON
+	AblationsJSON    = results.AblationsJSON
+	TableIIIJSON     = results.TableIIIJSON
+	TableIVJSON      = results.TableIVJSON
+	HardwareCostJSON = results.HardwareCostJSON
+)
+
+// Envelope kinds for the JSON artifact encoders.
+const (
+	KindFigure12     = results.KindFigure12
+	KindFigure13     = results.KindFigure13
+	KindFigure14     = results.KindFigure14
+	KindFigure15     = results.KindFigure15
+	KindFigure16     = results.KindFigure16
+	KindAblations    = results.KindAblations
+	KindTableIII     = results.KindTableIII
+	KindTableIV      = results.KindTableIV
+	KindHardwareCost = results.KindHardwareCost
 )
