@@ -169,6 +169,27 @@ func BenchmarkAblationFIFOStoreBuffer(b *testing.B) {
 	}
 }
 
+// BenchmarkStepThroughput measures the simulator's clock speed (simulated
+// cycles per second) on the Table III machine running the fence-drain
+// microbenchmark with traditional fences — the fence-heavy, miss-heavy
+// shape of the paper's Fig. 10, where the core idles at a fence for a full
+// memory round-trip every iteration. This is the workload the two-speed
+// event-driven clock exists for, and the benchmark tracked by the
+// BENCH_SIMPERF.json artifact (sfence-report -simperf).
+func BenchmarkStepThroughput(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sfence.RunBenchmark("fence-drain", sfence.BenchmarkOptions{
+			Mode: sfence.Traditional, Ops: 400,
+		}, sfence.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // cycles per second on the wsq benchmark.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -1,0 +1,242 @@
+// Differential test of the event-driven clock: every Table IV kernel and
+// every litmus test is simulated twice — once with naive per-cycle
+// stepping (the public Step/Done/Fault loop, the pre-event-driven Run) and
+// once with the two-speed Machine.Run — and the runs must be
+// bit-identical: same final cycle count, same per-core statistics and
+// registers, same fence profiles, same cache-hierarchy statistics, and
+// the same memory image. This is the safety proof the fast-forward path
+// rests on: NextWakeup may be conservative, but it must never change a
+// single simulated outcome.
+package sfence_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+	"sfence/internal/kernels"
+	"sfence/internal/litmus"
+	"sfence/internal/machine"
+)
+
+// naiveRun drives m exactly like the pre-event-driven Run loop: one Step
+// per cycle, with Done and Fault rechecked every cycle.
+func naiveRun(t *testing.T, m *machine.Machine) int64 {
+	t.Helper()
+	limit := int64(machine.DefaultMaxCycles)
+	for !m.Done() {
+		if err := m.Fault(); err != nil {
+			t.Fatalf("naive run faulted: %v", err)
+		}
+		if m.Cycle() >= limit {
+			t.Fatalf("naive run exceeded %d cycles", limit)
+		}
+		m.Step()
+	}
+	return m.Cycle()
+}
+
+func imageHash(m *machine.Machine) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range m.Image().Snapshot() {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// assertMachinesEqual compares every observable of the two finished runs.
+func assertMachinesEqual(t *testing.T, name string, naive, event *machine.Machine, nc, ec int64) {
+	t.Helper()
+	if nc != ec {
+		t.Fatalf("%s: cycle count diverged: naive %d, event-driven %d", name, nc, ec)
+	}
+	for i := 0; i < naive.Cores(); i++ {
+		cn, ce := naive.Core(i), event.Core(i)
+		if *cn.Stats() != *ce.Stats() {
+			t.Errorf("%s: core %d stats diverged:\nnaive %+v\nevent %+v", name, i, *cn.Stats(), *ce.Stats())
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if cn.Reg(isa.Reg(r)) != ce.Reg(isa.Reg(r)) {
+				t.Errorf("%s: core %d R%d diverged: naive %d, event %d", name, i, r, cn.Reg(isa.Reg(r)), ce.Reg(isa.Reg(r)))
+			}
+		}
+		if pn, pe := cn.FenceProfile(), ce.FenceProfile(); !reflect.DeepEqual(pn, pe) {
+			t.Errorf("%s: core %d fence profile diverged:\nnaive %+v\nevent %+v", name, i, pn, pe)
+		}
+	}
+	if hn, he := naive.Hierarchy().TotalStats(), event.Hierarchy().TotalStats(); hn != he {
+		t.Errorf("%s: hierarchy stats diverged:\nnaive %+v\nevent %+v", name, hn, he)
+	}
+	if hn, he := imageHash(naive), imageHash(event); hn != he {
+		t.Errorf("%s: memory image diverged (fnv64a %x vs %x)", name, hn, he)
+	}
+}
+
+func buildKernelMachine(t *testing.T, bench string, opts kernels.Options, cfg machine.Config) (*kernels.Kernel, *machine.Machine) {
+	t.Helper()
+	k, err := kernels.Build(bench, opts)
+	if err != nil {
+		t.Fatalf("build %s: %v", bench, err)
+	}
+	m, err := machine.New(cfg, k.Program, k.Threads)
+	if err != nil {
+		t.Fatalf("machine for %s: %v", bench, err)
+	}
+	for addr, val := range k.MemInit {
+		m.Image().Store(addr, val)
+	}
+	if k.InitImage != nil {
+		k.InitImage(m.Image())
+	}
+	return k, m
+}
+
+// TestClockEquivalenceKernels runs every Table IV kernel (plus the hidden
+// microbenchmarks) under both clocks, in the paper's T, S, T+, and S+
+// configurations, at Quick-scale sizing.
+func TestClockEquivalenceKernels(t *testing.T) {
+	quickOps := map[string]int{
+		"dekker": 25, "wsq": 50, "msn": 32, "harris": 40,
+		"pst": 160, "ptc": 64, "barnes": 16, "radiosity": 16,
+		"nested-scope": 40, "fence-drain": 60,
+	}
+	benches := []string{"dekker", "wsq", "msn", "harris", "barnes", "radiosity", "pst", "ptc", "nested-scope", "fence-drain"}
+	for _, bench := range benches {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			for _, spec := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/spec=%v", bench, mode, spec)
+				t.Run(name, func(t *testing.T) {
+					opts := kernels.Options{Mode: mode, Ops: quickOps[bench], Workload: 2}
+					cfg := machine.DefaultConfig()
+					cfg.Core.InWindowSpec = spec
+					kN, mN := buildKernelMachine(t, bench, opts, cfg)
+					_, mE := buildKernelMachine(t, bench, opts, cfg)
+
+					nc := naiveRun(t, mN)
+					ec, err := mE.Run()
+					if err != nil {
+						t.Fatalf("event-driven run: %v", err)
+					}
+					assertMachinesEqual(t, name, mN, mE, nc, ec)
+					if kN.Verify != nil {
+						if err := kN.Verify(mE.Image()); err != nil {
+							t.Errorf("%s: event-driven result failed verification: %v", name, err)
+						}
+					}
+					if cs := mE.Clock(); cs.SlowTicks+cs.SkippedCycles != ec {
+						t.Errorf("%s: clock accounting broken: %d slow + %d skipped != %d cycles", name, cs.SlowTicks, cs.SkippedCycles, ec)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestClockEquivalenceLitmus runs every litmus test under both clocks and
+// three machine configurations (baseline, in-window speculation, FIFO
+// store buffer), covering the snoop-replay and recovery paths.
+func TestClockEquivalenceLitmus(t *testing.T) {
+	tests := []*litmus.Test{
+		litmus.StoreBuffering(false, isa.ScopeGlobal),
+		litmus.StoreBuffering(true, isa.ScopeGlobal),
+		litmus.StoreBuffering(true, isa.ScopeSet),
+		litmus.MessagePassing(false),
+		litmus.MessagePassing(true),
+		litmus.LoadBuffering(),
+		litmus.IRIW(),
+		litmus.ClassScopedSB(),
+		litmus.ScopedSBLeaky(),
+		litmus.SBWithStoreStoreFence(),
+		litmus.MessagePassingSS(isa.ScopeGlobal),
+		litmus.MessagePassingSS(isa.ScopeClass),
+		litmus.CASIncrement(4, 16),
+		litmus.CoWW(),
+		litmus.MessagePassingFiner(),
+	}
+	cfgs := map[string]func(*machine.Config){
+		"base": func(*machine.Config) {},
+		"spec": func(c *machine.Config) { c.Core.InWindowSpec = true },
+		"fifo": func(c *machine.Config) { c.Core.FIFOStoreBuffer = true },
+		"spec-shadow": func(c *machine.Config) {
+			c.Core.InWindowSpec = true
+			c.Core.Recovery = cpu.RecoveryShadow
+		},
+	}
+	for cfgName, tweak := range cfgs {
+		for _, lt := range tests {
+			name := fmt.Sprintf("%s/%s", cfgName, lt.Name)
+			t.Run(name, func(t *testing.T) {
+				cfg := litmus.DefaultMachineConfig()
+				tweak(&cfg)
+
+				newMachine := func() *machine.Machine {
+					m, err := machine.New(cfg, lt.Program, lt.Threads)
+					if err != nil {
+						t.Fatalf("machine: %v", err)
+					}
+					return m
+				}
+				mN, mE := newMachine(), newMachine()
+				nc := naiveRun(t, mN)
+				ec, err := mE.Run()
+				if err != nil {
+					t.Fatalf("event-driven run: %v", err)
+				}
+				assertMachinesEqual(t, name, mN, mE, nc, ec)
+			})
+		}
+	}
+}
+
+// TestClockTracingPinsSlowPath checks that a machine with a tracer never
+// fast-forwards: tracers observe per-cycle events, so every cycle must be
+// stepped.
+func TestClockTracingPinsSlowPath(t *testing.T) {
+	_, m := buildKernelMachine(t, "fence-drain",
+		kernels.Options{Mode: kernels.Traditional, Ops: 20}, machine.DefaultConfig())
+	for i := 0; i < m.Cores(); i++ {
+		m.Core(i).SetTracer(countingTracer{})
+	}
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	cs := m.Clock()
+	if cs.SkippedCycles != 0 || cs.Jumps != 0 {
+		t.Fatalf("traced run fast-forwarded: %+v", cs)
+	}
+	if cs.SlowTicks != cycles {
+		t.Fatalf("traced run stepped %d cycles of %d", cs.SlowTicks, cycles)
+	}
+}
+
+// TestClockFastForwardEngages pins the perf property the event-driven
+// clock exists for: on the fence-heavy, miss-heavy fence-drain workload
+// with traditional fences, the overwhelming majority of cycles must be
+// covered by fast-forward jumps, not stepped.
+func TestClockFastForwardEngages(t *testing.T) {
+	_, m := buildKernelMachine(t, "fence-drain",
+		kernels.Options{Mode: kernels.Traditional, Ops: 100}, machine.DefaultConfig())
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cs := m.Clock()
+	if cs.SlowTicks+cs.SkippedCycles != cycles {
+		t.Fatalf("clock accounting broken: %+v vs %d cycles", cs, cycles)
+	}
+	if frac := float64(cs.SkippedCycles) / float64(cycles); frac < 0.5 {
+		t.Fatalf("fast-forward covered only %.1f%% of %d cycles (%+v); want > 50%%", 100*frac, cycles, cs)
+	}
+}
+
+type countingTracer struct{}
+
+func (countingTracer) Trace(int64, int, cpu.TraceEvent, uint64, isa.Instruction, int64) {}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sfence"
 )
@@ -31,9 +33,11 @@ func main() {
 		table4    = flag.Bool("table4", false, "Table IV: benchmark descriptions")
 		hwcost    = flag.Bool("hwcost", false, "Section VI-E: hardware cost")
 		ablations = flag.Bool("ablations", false, "design-choice ablations (beyond the paper)")
-		quick     = flag.Bool("quick", false, "reduced workload sizes")
-		asJSON    = flag.Bool("json", false, "emit schema-versioned JSON envelopes instead of ASCII")
-		progress  = flag.Bool("progress", false, "report per-experiment progress on stderr")
+		quick      = flag.Bool("quick", false, "reduced workload sizes")
+		asJSON     = flag.Bool("json", false, "emit schema-versioned JSON envelopes instead of ASCII")
+		progress   = flag.Bool("progress", false, "report per-experiment progress on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,7 +48,31 @@ func main() {
 	any := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
+		pprof.StopCPUProfile() // flush a partial profile before exiting
 		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	// emit prints either the ASCII rendering or the JSON envelope.
 	emit := func(render func() string, encode func() ([]byte, error)) {
@@ -145,6 +173,7 @@ func main() {
 	}
 	if !any {
 		flag.Usage()
+		pprof.StopCPUProfile()
 		os.Exit(2)
 	}
 }

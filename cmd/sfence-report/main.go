@@ -20,23 +20,52 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"sfence"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced workload sizes")
-		out      = flag.String("out", ".", "directory for EXPERIMENTS.md and BENCH_*.json")
-		cacheDir = flag.String("cache", ".sfence-cache", "run-cache directory")
-		noCache  = flag.Bool("no-cache", false, "disable the run cache")
-		progress = flag.Bool("progress", true, "report per-experiment progress on stderr")
+		quick      = flag.Bool("quick", false, "reduced workload sizes")
+		out        = flag.String("out", ".", "directory for EXPERIMENTS.md and BENCH_*.json")
+		cacheDir   = flag.String("cache", ".sfence-cache", "run-cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the run cache")
+		progress   = flag.Bool("progress", true, "report per-experiment progress on stderr")
+		simperf    = flag.Bool("simperf", false, "also measure the simulator itself (naive vs. event-driven clock) and write BENCH_SIMPERF.json; wall-clock based, so not byte-deterministic")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
+		pprof.StopCPUProfile() // flush a partial profile before exiting
 		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	sc := sfence.Full
@@ -75,6 +104,26 @@ func main() {
 	mdPath := filepath.Join(*out, "EXPERIMENTS.md")
 	if err := os.WriteFile(mdPath, []byte(suite.ExperimentsMD()), 0o644); err != nil {
 		fail(err)
+	}
+
+	if *simperf {
+		rep, err := sfence.RunSimPerf(sc)
+		if err != nil {
+			fail(err)
+		}
+		data, err := sfence.SimPerfJSON(rep, sc)
+		if err != nil {
+			fail(err)
+		}
+		spPath := filepath.Join(*out, "BENCH_SIMPERF.json")
+		if err := os.WriteFile(spPath, data, 0o644); err != nil {
+			fail(err)
+		}
+		paths = append(paths, spPath)
+		for _, r := range rep.Rows {
+			fmt.Fprintf(os.Stderr, "simperf: %-12s %-12s %9d cycles  naive %8.0f cyc/s  event %9.0f cyc/s  %6.2fx\n",
+				r.Bench, r.Mode, r.SimCycles, r.NaiveCyclesPerSec, r.EventCyclesPerSec, r.Speedup)
+		}
 	}
 
 	fmt.Printf("wrote %s and %d JSON artifacts to %s\n", mdPath, len(paths), *out)

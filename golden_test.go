@@ -1,0 +1,126 @@
+// Golden determinism test: a committed checksum of (final cycles, retired
+// instructions, fence idle cycles) for every Table IV kernel at Quick
+// scale. The simulator is fully deterministic, so these numbers must never
+// move unless the timing model itself is deliberately changed — any
+// accidental perturbation (a reordered scan, a broken fast-forward credit,
+// an off-by-one in a latency) fails loudly here.
+//
+// Regenerate after an intentional timing change with:
+//
+//	go test -run TestGoldenDeterminism -update-golden
+package sfence_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"sfence"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_quick.json from the current simulator")
+
+// goldenRecord is one kernel configuration's determinism checksum.
+type goldenRecord struct {
+	Cycles     int64  `json:"cycles"`
+	Committed  uint64 `json:"committed"`
+	FenceIdle  uint64 `json:"fenceIdleCycles"`
+	CoreCycles uint64 `json:"coreCycles"`
+}
+
+const goldenPath = "testdata/golden_quick.json"
+
+func goldenCases() map[string]sfence.BenchmarkOptions {
+	ops := map[string]int{
+		"dekker": 25, "wsq": 50, "msn": 32, "harris": 40,
+		"pst": 160, "ptc": 64, "barnes": 16, "radiosity": 16,
+		"nested-scope": 40, "fence-drain": 60,
+	}
+	cases := map[string]sfence.BenchmarkOptions{}
+	for bench, n := range ops {
+		for _, mode := range []sfence.FenceMode{sfence.Traditional, sfence.Scoped} {
+			key := fmt.Sprintf("%s/%s", bench, mode)
+			cases[key] = sfence.BenchmarkOptions{Mode: mode, Ops: n, Workload: 2}
+		}
+	}
+	return cases
+}
+
+func measureGolden(t *testing.T) map[string]map[string]goldenRecord {
+	t.Helper()
+	out := map[string]map[string]goldenRecord{}
+	for key, opts := range goldenCases() {
+		bench := key[:len(key)-len("/"+opts.Mode.String())]
+		res, err := sfence.RunBenchmark(bench, opts, sfence.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if out[bench] == nil {
+			out[bench] = map[string]goldenRecord{}
+		}
+		out[bench][opts.Mode.String()] = goldenRecord{
+			Cycles:     res.Cycles,
+			Committed:  res.Stats.Committed,
+			FenceIdle:  res.FenceStall,
+			CoreCycles: res.CoreCycles,
+		}
+	}
+	return out
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	got := measureGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want map[string]map[string]goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+
+	var benches []string
+	for b := range want {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
+		for mode, w := range want[bench] {
+			g, ok := got[bench][mode]
+			if !ok {
+				t.Errorf("%s/%s: in golden file but not measured", bench, mode)
+				continue
+			}
+			if g != w {
+				t.Errorf("%s/%s: timing perturbed:\n  golden   %+v\n  measured %+v\n(if this change is intentional, regenerate with -update-golden)", bench, mode, w, g)
+			}
+		}
+	}
+	// Both directions: a case added to goldenCases without regenerating
+	// the file must fail as unpinned, not pass silently.
+	for bench, modes := range got {
+		for mode := range modes {
+			if _, ok := want[bench][mode]; !ok {
+				t.Errorf("%s/%s: measured but missing from golden file (regenerate with -update-golden)", bench, mode)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package cpu
+
+import "math"
+
+// This file is the core half of the event-driven two-speed clock: a
+// quiescence detector (progressed), a conservative next-event bound
+// (NextWakeup), and a bulk idle-cycle crediting routine (FastForward) that
+// reproduces, counter for counter, what per-cycle stepping would have
+// accumulated while the core spins waiting for memory.
+//
+// The contract that makes fast-forwarding bit-identical to naive stepping:
+// Tick is a deterministic function of (core state, cycle). If a Tick
+// mutated nothing (progressed == false), the next Tick repeats the exact
+// same control flow — the only cycle-dependent comparisons are readyAt and
+// redirectUntil bounds — until the earliest of those bounds arrives. A
+// quiescent cycle therefore accrues exactly: Cycles++, the ROB-occupancy
+// integral, and whichever once-per-cycle stall counters the last Tick
+// bumped (recorded in stallAccrual). FastForward(delta) credits delta
+// copies of that accrual in O(1).
+
+// NeverWakes is the NextWakeup value of a core with no scheduled event:
+// done, faulted, or deadlocked. The machine clamps it to the cycle budget,
+// so a deadlocked program reaches the budget with the same stats the naive
+// clock would have spun its way to.
+const NeverWakes int64 = math.MaxInt64
+
+// stallAccrual records which once-per-cycle stall counters the current
+// Tick incremented. While the core is quiescent every subsequent cycle
+// increments exactly the same set, so FastForward can multiply instead of
+// iterate. sites holds at most two entries: a retirement-blocked fence and
+// an issue-blocked fence can each charge one site per cycle.
+type stallAccrual struct {
+	fenceStall  bool // stats.FenceStallCycles
+	fenceRetire bool // variant: retirement stall (else issue stall)
+	fenceIdle   bool // stats.FenceIdleCycles
+	robFull     bool // stats.ROBFullCycles
+	sbFull      bool // stats.SBFullCycles
+
+	nSites   int
+	sites    [2]*FenceSite
+	siteIdle [2]bool
+}
+
+func (a *stallAccrual) addSite(s *FenceSite, idle bool) {
+	if a.nSites < len(a.sites) {
+		a.sites[a.nSites] = s
+		a.siteIdle[a.nSites] = idle
+		a.nSites++
+	}
+}
+
+// Active reports whether the core can make forward progress on the very
+// next cycle: its last Tick mutated state, or snoops are waiting to be
+// processed. Done and faulted cores are never active.
+func (c *Core) Active() bool {
+	if c.fault != nil || c.Done() {
+		return false
+	}
+	return c.progressed || len(c.snoopPending) > 0
+}
+
+// Traced reports whether a pipeline tracer is attached. Tracers observe
+// per-cycle events (notably one TraceFenceStall per stalled cycle), so the
+// machine must step a traced core cycle by cycle.
+func (c *Core) Traced() bool { return c.tracer != nil }
+
+// SpecLoadsInFlight returns the number of in-flight loads that executed
+// speculatively past an unretired fence. The machine uses it as an exact
+// snoop filter: a core with none cannot replay, so delivering a remote
+// store notification to it is a guaranteed no-op.
+func (c *Core) SpecLoadsInFlight() int { return c.specLoads }
+
+// NextWakeup returns a conservative lower bound on the next cycle at which
+// the core's state can change: never later than the true next change,
+// possibly earlier. For an active core that is the next cycle; for a
+// quiescent core it is the earliest scheduled event — the minimum readyAt
+// across executing ROB entries and in-flight store-buffer entries, and the
+// fetch-redirect release point. A core with no scheduled event returns
+// NeverWakes.
+func (c *Core) NextWakeup() int64 {
+	if c.fault != nil || c.Done() {
+		return NeverWakes
+	}
+	if c.progressed || len(c.snoopPending) > 0 {
+		return c.cycle + 1
+	}
+	// The completion and drain gates are conservative lower bounds on the
+	// next scheduled event (stale-early at worst, e.g. after a squash), so
+	// the minimum below can wake the machine early — an extra quiescent
+	// tick — but never late.
+	w := NeverWakes
+	if c.redirectUntil > c.cycle {
+		w = c.redirectUntil
+	}
+	if c.nextComplete < w {
+		w = c.nextComplete
+	}
+	if c.nextSBDrain < w {
+		w = c.nextSBDrain
+	}
+	return w
+}
+
+// FastForward credits delta skipped idle cycles to the core's statistics,
+// exactly as delta quiescent Ticks would have: the active-cycle count, the
+// ROB-occupancy integral, and the once-per-cycle stall counters captured
+// by the last Tick. It must only be called when the core is quiescent
+// (progressed false, no pending snoops) and every skipped cycle is
+// strictly before NextWakeup.
+func (c *Core) FastForward(delta int64) {
+	if delta <= 0 || c.fault != nil || c.Done() {
+		return
+	}
+	d := uint64(delta)
+	c.stats.Cycles += d
+	c.stats.SumROBOccupancy += (c.tail - c.head) * d
+	a := &c.accrual
+	if a.fenceStall {
+		c.stats.FenceStallCycles += d
+		if a.fenceRetire {
+			c.stats.FenceStallRetire += d
+		} else {
+			c.stats.FenceStallIssue += d
+		}
+		if a.fenceIdle {
+			c.stats.FenceIdleCycles += d
+		}
+	}
+	if a.robFull {
+		c.stats.ROBFullCycles += d
+	}
+	if a.sbFull {
+		c.stats.SBFullCycles += d
+	}
+	for i := 0; i < a.nSites; i++ {
+		a.sites[i].StallCycles += d
+		if a.siteIdle[i] {
+			a.sites[i].IdleCycles += d
+		}
+	}
+	c.cycle += delta
+}

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sfence/internal/isa"
 	"sfence/internal/memsys"
@@ -91,6 +92,68 @@ type Core struct {
 
 	robIncompleteMem int // loads/CAS in ROB not yet completed
 	robStoreCount    int // stores still in ROB
+	specLoads        int // in-flight loads with specPastFence set
+	casWaiting       int // CAS entries still waiting to execute
+
+	// donePrefix is the completion cursor: every entry in [head,
+	// donePrefix) is stDone and only awaits retirement, so completeROB and
+	// schedule scans start here instead of at head (see scanStart).
+	donePrefix uint64
+
+	// nextComplete and nextSBDrain are conservative lower bounds (never
+	// later than the truth, possibly stale-early after a squash) on the
+	// next ROB completion and store-buffer drain. They gate the completeROB
+	// and completeSB scans — skipped entirely on cycles with nothing due —
+	// and give NextWakeup its O(1) event bound. Execution starts and store
+	// issues lower them; the scans recompute them exactly when they run.
+	nextComplete int64
+	nextSBDrain  int64
+
+	// schedDirty records whether anything since the last schedule scan
+	// could have structurally unblocked a waiting entry (a store or CAS
+	// completion, a store-buffer drain, a decode, a squash, or the head
+	// reaching a waiting CAS). A schedule pass reaches a fixed point over
+	// its own mutations — entries only wait on older producers, and the
+	// scan is ascending — so while schedDirty is false a full scan would
+	// start nothing. Plain operand readiness does not raise the flag:
+	// completions wake their registered consumers individually (wakeHead/
+	// wakeNext/readyBits below) and schedule runs a partial scan over the
+	// marked slots only.
+	schedDirty bool
+
+	// Producer->consumer wakeup lists: wakeHead[p] heads an intrusive
+	// singly-linked list of registration nodes for the producer in slot p;
+	// node id s*3+k is consumer slot s's registration for operand k, with
+	// wakeNext[id] the chain pointer. A node is registered at decode for
+	// each not-yet-done producer operand, and removed exactly once — when
+	// the producer completes (fireWakes) or on squash (lists are wiped and
+	// surviving waiting entries re-registered) — so no node can sit in two
+	// lists. readyBits marks woken consumer slots for the partial scan.
+	wakeHead    []int32
+	wakeNext    []int32
+	readyBits   []uint64
+	wakePending bool
+
+	// completion min-heap, ordered by (readyAt, seq): every execution
+	// start pushes a node, completeROB pops the due ones. Lexicographic
+	// order makes pop order identical to the ascending-seq scan it
+	// replaces, because an entry completes exactly at its readyAt cycle.
+	// Squash rebuilds the heap from the surviving window.
+	compHeap  []compNode
+	compBatch []compNode // scratch: this cycle's due completions
+
+	// progressed records whether the current/last Tick mutated core state
+	// (as opposed to pure stall accounting); accrual captures which
+	// once-per-cycle stall counters it bumped. Together they drive the
+	// event-driven clock (see clock.go).
+	progressed bool
+	accrual    stallAccrual
+
+	// issueSB scan scratch: the per-address occupancy of store-buffer
+	// entries already passed in the current scan, so the older-same-address
+	// check is O(1) per entry instead of a rescan of the buffer prefix.
+	sbSeen    map[int64]struct{}
+	sbTouched []int64
 
 	snoopPending []int64
 
@@ -129,8 +192,21 @@ func NewCore(id int, cfg Config, prog *isa.Program, startPC int, initRegs map[is
 		entries: make([]robEntry, cfg.ROBSize),
 		robMask: uint64(cfg.ROBSize - 1),
 		sb:      make([]sbEntry, 0, cfg.SBSize),
+		sbSeen:  make(map[int64]struct{}, cfg.SBSize),
 		pred:    newPredictor(cfg.PredictorBits),
 		fetchPC: startPC,
+
+		nextComplete: NeverWakes,
+		nextSBDrain:  NeverWakes,
+		schedDirty:   true,
+
+		wakeHead:  make([]int32, cfg.ROBSize),
+		wakeNext:  make([]int32, 3*cfg.ROBSize),
+		readyBits: make([]uint64, (cfg.ROBSize+63)/64),
+		compHeap:  make([]compNode, 0, cfg.ROBSize),
+	}
+	for i := range c.wakeHead {
+		c.wakeHead[i] = -1
 	}
 	c.scope = newScopeHW(&c.cfg, &c.stats)
 	for i := range c.regTag {
@@ -184,6 +260,8 @@ func (c *Core) Tick(cycle int64) {
 	c.fenceStallSeen = false
 	c.robFullSeen = false
 	c.sbFullSeen = false
+	c.progressed = false
+	c.accrual = stallAccrual{}
 
 	c.processSnoops()
 	c.completeSB()
@@ -220,6 +298,17 @@ func (c *Core) incBits(counts []int, bits uint8) {
 	}
 }
 
+// noteExec records that an entry began executing with the given completion
+// time: forward progress, a completion-heap node, and a new bound for the
+// completion gate.
+func (c *Core) noteExec(seq uint64, readyAt int64) {
+	c.progressed = true
+	c.heapPush(compNode{at: readyAt, seq: seq})
+	if readyAt < c.nextComplete {
+		c.nextComplete = readyAt
+	}
+}
+
 // srcReady reports whether the producer of an operand has its value
 // available.
 func (c *Core) srcReady(src int64) bool {
@@ -252,6 +341,7 @@ func (c *Core) processSnoops() {
 	if len(c.snoopPending) == 0 {
 		return
 	}
+	c.progressed = true
 	addrs := c.snoopPending
 	c.snoopPending = c.snoopPending[:0]
 	for _, addr := range addrs {
@@ -274,10 +364,22 @@ func (c *Core) processSnoops() {
 // --- store buffer ---
 
 func (c *Core) completeSB() {
+	if c.nextSBDrain > c.cycle {
+		return // nothing in flight is due yet
+	}
+	next := NeverWakes
 	w := 0
 	for i := range c.sb {
 		e := &c.sb[i]
 		if e.inflight && e.readyAt <= c.cycle {
+			c.progressed = true
+			if c.casWaiting > 0 {
+				// Draining a store can unblock a waiting same-address
+				// CAS; nothing else in the scheduler reads the buffer in
+				// a way a removal can unblock (a load that could forward
+				// from the drained entry had already started).
+				c.schedDirty = true
+			}
 			c.img.Store(e.addr, e.val)
 			c.decBits(c.scope.sbCnt, e.fsb)
 			c.sbInflight--
@@ -287,15 +389,32 @@ func (c *Core) completeSB() {
 			}
 			continue // drop entry
 		}
+		if e.inflight && e.readyAt < next {
+			next = e.readyAt
+		}
 		c.sb[w] = *e
 		w++
 	}
 	c.sb = c.sb[:w]
+	c.nextSBDrain = next
 }
 
 func (c *Core) issueSB() {
+	if c.sbInflight == len(c.sb) {
+		return // nothing waiting to issue (covers the empty buffer)
+	}
+	// One ascending pass with a per-address occupancy set: an entry has an
+	// older incomplete same-address store exactly when its address was
+	// already seen earlier in the pass (entries are kept in program order
+	// and drained entries are removed).
+	touched := c.sbTouched[:0]
 	for i := range c.sb {
 		e := &c.sb[i]
+		_, older := c.sbSeen[e.addr]
+		if !older {
+			c.sbSeen[e.addr] = struct{}{}
+			touched = append(touched, e.addr)
+		}
 		if e.inflight {
 			continue
 		}
@@ -307,33 +426,71 @@ func (c *Core) issueSB() {
 		}
 		// Per-location ordering: an older incomplete same-address store
 		// must drain first.
-		blocked := false
-		for j := 0; j < i; j++ {
-			if c.sb[j].addr == e.addr {
-				blocked = true
-				break
-			}
-		}
-		if blocked {
+		if older {
 			continue
 		}
 		lat := c.hier.Access(c.id, e.addr, true)
 		e.inflight = true
 		e.readyAt = c.cycle + int64(lat)
 		c.sbInflight++
+		c.progressed = true
+		if e.readyAt < c.nextSBDrain {
+			c.nextSBDrain = e.readyAt
+		}
 		c.trace(TraceSBIssue, 0, isa.Instruction{Op: isa.OpStore}, e.readyAt)
 	}
+	for _, a := range touched {
+		delete(c.sbSeen, a)
+	}
+	c.sbTouched = touched[:0]
 }
 
 // --- completion ---
 
+// scanStart advances the done-prefix cursor past completed entries and
+// returns it: entries in [head, scanStart) are stDone, so completion and
+// scheduling scans skip the retired-in-waiting prefix. Stages only move
+// toward stDone while an entry is in flight, and squash rewinds the cursor
+// along with tail, so the invariant is cheap to maintain lazily.
+func (c *Core) scanStart() uint64 {
+	if c.donePrefix < c.head {
+		c.donePrefix = c.head
+	}
+	for c.donePrefix < c.tail && c.slot(c.donePrefix).stage == stDone {
+		c.donePrefix++
+	}
+	return c.donePrefix
+}
+
 func (c *Core) completeROB() {
-	for seq := c.head; seq < c.tail; seq++ {
-		e := c.slot(seq)
-		if e.stage != stExecuting || e.readyAt > c.cycle {
+	if c.nextComplete > c.cycle {
+		return // nothing executing is due yet
+	}
+	// Drain the due completion-heap nodes. The heap is rebuilt on squash,
+	// so live nodes match their entries; the validation below is a
+	// defensive no-op in practice.
+	batch := c.compBatch[:0]
+	for len(c.compHeap) > 0 && c.compHeap[0].at <= c.cycle {
+		n := c.heapPop()
+		if n.seq < c.head || n.seq >= c.tail {
 			continue
 		}
-		c.trace(TraceComplete, seq, e.inst, e.val)
+		if e := c.slot(n.seq); e.stage == stExecuting && e.readyAt == n.at {
+			batch = append(batch, n)
+		}
+	}
+	// Process same-cycle completions in ascending seq order, exactly like
+	// the full scan this replaces. Pops already arrive seq-sorted except
+	// when a zero-latency access left a node dated before this cycle.
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && batch[j-1].seq > batch[j].seq; j-- {
+			batch[j-1], batch[j] = batch[j], batch[j-1]
+		}
+	}
+	for _, n := range batch {
+		e := c.slot(n.seq)
+		c.progressed = true
+		c.trace(TraceComplete, n.seq, e.inst, e.val)
 		switch e.inst.Op {
 		case isa.OpLoad:
 			e.stage = stDone
@@ -354,36 +511,73 @@ func (c *Core) completeROB() {
 			c.robIncompleteMem--
 			c.decBits(c.scope.robCnt, e.fsb)
 			c.decBits(c.scope.robLoadCnt, e.fsb)
+			// A completed CAS unblocks younger same-address loads (they
+			// now read memory), beyond its registered operand consumers.
+			c.schedDirty = true
 		default:
 			e.stage = stDone
+			if e.inst.Op == isa.OpStore {
+				// A completed store becomes a forwarding source and
+				// unblocks younger same-address loads: structural, so a
+				// full scan is needed, not just operand wakeups.
+				c.schedDirty = true
+			}
 		}
+		c.fireWakes(n.seq)
+	}
+	c.compBatch = batch[:0]
+	if len(c.compHeap) > 0 {
+		c.nextComplete = c.compHeap[0].at
+	} else {
+		c.nextComplete = NeverWakes
 	}
 }
 
 // --- retirement ---
 
 func (c *Core) retire() {
+	h0 := c.head
+	c.retireInsts()
+	// Retirement feeds the scheduler only through the head seq: a CAS
+	// executes only from the ROB head, so reaching a waiting CAS demands a
+	// scan. (Everything else retirement touches — the store buffer gains
+	// an entry, registers and rename tags update — either only blocks
+	// younger entries or is already covered: a retiring producer completed
+	// earlier and woke its consumers then.)
+	if c.head != h0 && c.head < c.tail {
+		if e := c.slot(c.head); e.stage == stWaiting && e.inst.Op == isa.OpCAS {
+			c.schedDirty = true
+		}
+	}
+}
+
+func (c *Core) retireInsts() {
 	for n := 0; n < c.cfg.RetireWidth && c.head < c.tail; n++ {
 		e := c.slot(c.head)
 		op := e.inst.Op
 
 		if op == isa.OpFence && (c.cfg.InWindowSpec || e.inst.Order == isa.OrderSS) {
 			if !c.fenceMayRetire(e) {
+				idle := c.tail-c.head == 1
 				if !c.fenceStallSeen {
 					c.stats.FenceStallCycles++
 					c.stats.FenceStallRetire++
-					if c.tail-c.head == 1 {
+					c.accrual.fenceStall = true
+					c.accrual.fenceRetire = true
+					if idle {
 						// Only the fence itself is in flight: a pure
 						// drain wait.
 						c.stats.FenceIdleCycles++
+						c.accrual.fenceIdle = true
 					}
 					c.fenceStallSeen = true
 				}
-				site := c.profile.site(e.pc, e.inst.String())
+				site := c.profile.site(e.pc, e.inst)
 				site.StallCycles++
-				if c.tail-c.head == 1 {
+				if idle {
 					site.IdleCycles++
 				}
+				c.accrual.addSite(site, idle)
 				c.trace(TraceFenceStall, c.head, e.inst, 1)
 				return
 			}
@@ -393,6 +587,7 @@ func (c *Core) retire() {
 		}
 		if e.faulted {
 			c.fault = fmt.Errorf("cpu: core %d: invalid memory access at pc %d (%s)", c.id, e.pc, e.inst)
+			c.progressed = true
 			return
 		}
 
@@ -400,6 +595,7 @@ func (c *Core) retire() {
 			if len(c.sb) >= c.cfg.SBSize {
 				if !c.sbFullSeen {
 					c.stats.SBFullCycles++
+					c.accrual.sbFull = true
 					c.sbFullSeen = true
 				}
 				return
@@ -418,17 +614,21 @@ func (c *Core) retire() {
 		}
 
 		c.stats.Committed++
+		c.progressed = true
 		c.trace(TraceRetire, c.head, e.inst, e.val)
 		switch op {
 		case isa.OpLoad:
 			c.stats.CommittedLoads++
+			if e.specPastFence {
+				c.specLoads--
+			}
 		case isa.OpStore:
 			c.stats.CommittedStores++
 		case isa.OpCAS:
 			c.stats.CommittedCAS++
 		case isa.OpFence:
 			c.stats.CommittedFences++
-			c.profile.site(e.pc, e.inst.String()).Executions++
+			c.profile.site(e.pc, e.inst).Executions++
 			if c.cfg.InWindowSpec {
 				c.removeFenceSeq(c.head)
 			}
@@ -469,25 +669,112 @@ func (c *Core) fenceMayRetire(e *robEntry) bool {
 // --- execution scheduling ---
 
 func (c *Core) schedule() {
-	for seq := c.head; seq < c.tail; seq++ {
-		e := c.slot(seq)
-		if e.stage != stWaiting {
+	// Two-level scan. A structural event (schedDirty) forces a full
+	// ascending pass; plain operand completions only wake their registered
+	// consumers, and the pass visits just the marked slots. Start
+	// conditions depend only on producer stages, resolved addresses, the
+	// head seq, and store-buffer contents — never on the clock — and every
+	// mutation of those either sets schedDirty, fires a wakeup, or is the
+	// in-pass address resolution escalated below, so a skipped or partial
+	// pass starts exactly what a full pass would.
+	full := c.schedDirty
+	if !full && !c.wakePending {
+		return
+	}
+	c.schedDirty = false
+	c.wakePending = false
+	start := c.scanStart()
+	if full {
+		c.scheduleAll(start)
+	} else {
+		c.scheduleMarked(start)
+	}
+	clear(c.readyBits)
+}
+
+// tryEntry attempts to start the entry at seq if it is still waiting. It
+// reports whether the pass must escalate to trying every younger entry: a
+// store or CAS address resolved in-pass can unblock any younger load, and
+// a full ascending pass would propagate that within the same cycle.
+func (c *Core) tryEntry(seq uint64) bool {
+	e := &c.entries[seq&c.robMask]
+	if e.stage != stWaiting {
+		return false
+	}
+	wasAddrOK := e.addrOK
+	switch e.inst.Op {
+	case isa.OpLoad:
+		c.tryStartLoad(e, seq)
+	case isa.OpStore:
+		c.tryStartStore(e, seq)
+	case isa.OpCAS:
+		c.tryStartCAS(e, seq)
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		c.tryResolveBranch(e, seq)
+	default:
+		c.tryStartALU(e, seq)
+	}
+	if c.tracer != nil && seq < c.tail && e.stage == stExecuting {
+		c.trace(TraceExecute, seq, e.inst, e.readyAt)
+	}
+	if !wasAddrOK && e.addrOK {
+		switch e.inst.Op {
+		case isa.OpStore, isa.OpCAS:
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleAll is the full ascending pass over [from, tail).
+func (c *Core) scheduleAll(from uint64) {
+	for seq := from; seq < c.tail; seq++ {
+		c.tryEntry(seq)
+	}
+}
+
+// scheduleMarked visits only the slots marked by fireWakes, in ascending
+// seq order. The window may wrap the slot array, giving up to two
+// contiguous slot segments; bits are extracted per word. An in-pass
+// address resolution escalates to the full pass from that point on.
+func (c *Core) scheduleMarked(from uint64) {
+	size := uint64(len(c.entries))
+	s0 := from & c.robMask
+	n := c.tail - from
+	segLen := [2]uint64{n, 0}
+	if s0+n > size {
+		segLen[0] = size - s0
+		segLen[1] = n - segLen[0]
+	}
+	segSlot := [2]uint64{s0, 0}
+	segSeq := [2]uint64{from, from + segLen[0]}
+	for g := 0; g < 2; g++ {
+		lo, ln := segSlot[g], segLen[g]
+		if ln == 0 {
 			continue
 		}
-		switch e.inst.Op {
-		case isa.OpLoad:
-			c.tryStartLoad(e, seq)
-		case isa.OpStore:
-			c.tryStartStore(e)
-		case isa.OpCAS:
-			c.tryStartCAS(e, seq)
-		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
-			c.tryResolveBranch(e, seq)
-		default:
-			c.tryStartALU(e)
-		}
-		if c.tracer != nil && seq < c.tail && e.stage == stExecuting {
-			c.trace(TraceExecute, seq, e.inst, e.readyAt)
+		hi := lo + ln // exclusive slot bound
+		for w := lo >> 6; w<<6 < hi; w++ {
+			word := c.readyBits[w]
+			base := w << 6
+			if base < lo {
+				word &= ^uint64(0) << (lo - base)
+			}
+			if base+64 > hi {
+				word &= ^uint64(0) >> (base + 64 - hi)
+			}
+			for word != 0 {
+				slot := base + uint64(bits.TrailingZeros64(word))
+				word &= word - 1
+				seq := segSeq[g] + (slot - lo)
+				if seq >= c.tail {
+					return // a squash in this pass cut the window short
+				}
+				if c.tryEntry(seq) {
+					c.scheduleAll(seq + 1)
+					return
+				}
+			}
 		}
 	}
 }
@@ -503,7 +790,7 @@ func aluLatency(op isa.Op) int64 {
 	}
 }
 
-func (c *Core) tryStartALU(e *robEntry) {
+func (c *Core) tryStartALU(e *robEntry, seq uint64) {
 	if !c.srcReady(e.src1) || !c.srcReady(e.src2) {
 		return
 	}
@@ -564,6 +851,7 @@ func (c *Core) tryStartALU(e *robEntry) {
 	e.val = v
 	e.stage = stExecuting
 	e.readyAt = c.cycle + aluLatency(in.Op)
+	c.noteExec(seq, e.readyAt)
 }
 
 func (c *Core) tryResolveBranch(e *robEntry, seq uint64) {
@@ -586,6 +874,7 @@ func (c *Core) tryResolveBranch(e *robEntry, seq uint64) {
 	e.resolved = true
 	e.stage = stExecuting
 	e.readyAt = c.cycle + 1
+	c.noteExec(seq, e.readyAt)
 	c.unresolvedBranches--
 	c.pred.update(e.pc, taken)
 	if taken == e.predTaken {
@@ -647,6 +936,7 @@ func (c *Core) tryStartLoad(e *robEntry, seq uint64) {
 		e.addr = c.img.Norm(raw)
 		e.faulted = !c.img.Valid(raw)
 		e.addrOK = true
+		c.progressed = true
 	}
 	blocked, forward, fval := c.olderStoreBlocks(seq, e.addr)
 	if blocked {
@@ -656,6 +946,7 @@ func (c *Core) tryStartLoad(e *robEntry, seq uint64) {
 		e.val = fval
 		e.stage = stExecuting
 		e.readyAt = c.cycle + int64(c.cfg.ForwardLatency)
+		c.noteExec(seq, e.readyAt)
 		return
 	}
 	// Forward from the youngest same-address store-buffer entry, if any.
@@ -664,6 +955,7 @@ func (c *Core) tryStartLoad(e *robEntry, seq uint64) {
 			e.val = c.sb[i].val
 			e.stage = stExecuting
 			e.readyAt = c.cycle + int64(c.cfg.ForwardLatency)
+			c.noteExec(seq, e.readyAt)
 			return
 		}
 	}
@@ -672,22 +964,25 @@ func (c *Core) tryStartLoad(e *robEntry, seq uint64) {
 	e.accessedMem = true
 	e.stage = stExecuting
 	e.readyAt = c.cycle + int64(lat)
+	c.noteExec(seq, e.readyAt)
 	if c.cfg.InWindowSpec {
 		for _, fs := range c.fenceSeqs {
 			if fs < seq {
 				e.specPastFence = true
+				c.specLoads++
 				break
 			}
 		}
 	}
 }
 
-func (c *Core) tryStartStore(e *robEntry) {
+func (c *Core) tryStartStore(e *robEntry, seq uint64) {
 	if c.srcReady(e.src1) && !e.addrOK {
 		raw := c.readSrc(e.src1, e.inst.Rs1) + e.inst.Imm
 		e.addr = c.img.Norm(raw)
 		e.faulted = !c.img.Valid(raw)
 		e.addrOK = true
+		c.progressed = true
 	}
 	if !e.addrOK || !c.srcReady(e.src2) {
 		return
@@ -695,6 +990,7 @@ func (c *Core) tryStartStore(e *robEntry) {
 	e.sval = c.readSrc(e.src2, e.inst.Rs2)
 	e.stage = stExecuting
 	e.readyAt = c.cycle + 1
+	c.noteExec(seq, e.readyAt)
 }
 
 func (c *Core) tryStartCAS(e *robEntry, seq uint64) {
@@ -703,6 +999,7 @@ func (c *Core) tryStartCAS(e *robEntry, seq uint64) {
 		e.addr = c.img.Norm(raw)
 		e.faulted = !c.img.Valid(raw)
 		e.addrOK = true
+		c.progressed = true
 	}
 	if !e.addrOK || !c.srcReady(e.src2) || !c.srcReady(e.src3) {
 		return
@@ -724,6 +1021,8 @@ func (c *Core) tryStartCAS(e *robEntry, seq uint64) {
 	e.accessedMem = true
 	e.stage = stExecuting
 	e.readyAt = c.cycle + int64(lat)
+	c.casWaiting--
+	c.noteExec(seq, e.readyAt)
 }
 
 // --- squash ---
@@ -732,6 +1031,8 @@ func (c *Core) squash(fromSeq uint64) {
 	if fromSeq >= c.tail {
 		return
 	}
+	c.progressed = true
+	c.schedDirty = true
 	// Restore the fence scope stack to its state before fromSeq decoded.
 	switch c.cfg.Recovery {
 	case RecoverySnapshot:
@@ -748,6 +1049,12 @@ func (c *Core) squash(fromSeq uint64) {
 				c.robIncompleteMem--
 				c.decBits(c.scope.robCnt, e.fsb)
 				c.decBits(c.scope.robLoadCnt, e.fsb)
+				if e.inst.Op == isa.OpCAS && e.stage == stWaiting {
+					c.casWaiting--
+				}
+			}
+			if e.specPastFence {
+				c.specLoads--
 			}
 			if e.accessedMem {
 				c.stats.WrongPathMem++
@@ -765,16 +1072,25 @@ func (c *Core) squash(fromSeq uint64) {
 		c.stats.Squashed++
 	}
 	c.tail = fromSeq
-	// Rebuild the register rename tags from the surviving entries.
+	if c.donePrefix > c.tail {
+		c.donePrefix = c.tail
+	}
+	// Rebuild the register rename tags, the wakeup lists, and the
+	// completion heap from the surviving entries.
 	for i := range c.regTag {
 		c.regTag[i] = -1
 	}
+	c.wipeWakes()
 	for seq := c.head; seq < c.tail; seq++ {
 		e := c.slot(seq)
 		if e.inst.Writes() {
 			c.regTag[e.inst.Rd] = int64(seq)
 		}
+		if e.stage == stWaiting {
+			c.regWakes(e, seq)
+		}
 	}
+	c.rebuildCompHeap()
 	// Drop squashed fences.
 	w := 0
 	for _, s := range c.fenceSeqs {
@@ -828,6 +1144,7 @@ func (c *Core) fetch() {
 		if c.tail-c.head >= uint64(c.cfg.ROBSize) {
 			if !c.robFullSeen {
 				c.stats.ROBFullCycles++
+				c.accrual.robFull = true
 				c.robFullSeen = true
 			}
 			return
@@ -842,21 +1159,25 @@ func (c *Core) fetch() {
 
 		if in.Op == isa.OpFence && in.Order != isa.OrderSS &&
 			!c.cfg.InWindowSpec && !c.canIssueFence(in.Scope, in.Order) {
+			idle := c.head == c.tail
 			if !c.fenceStallSeen {
 				c.stats.FenceStallCycles++
 				c.stats.FenceStallIssue++
-				if c.head == c.tail {
+				c.accrual.fenceStall = true
+				if idle {
 					// Nothing left in flight: the core is purely
 					// waiting for the fence's memory drain.
 					c.stats.FenceIdleCycles++
+					c.accrual.fenceIdle = true
 				}
 				c.fenceStallSeen = true
 			}
-			site := c.profile.site(pc, in.String())
+			site := c.profile.site(pc, in)
 			site.StallCycles++
-			if c.head == c.tail {
+			if idle {
 				site.IdleCycles++
 			}
+			c.accrual.addSite(site, idle)
 			c.trace(TraceFenceStall, c.tail, in, 0)
 			return
 		}
@@ -865,6 +1186,13 @@ func (c *Core) fetch() {
 		e := c.slot(seq)
 		*e = robEntry{inst: in, pc: pc, src1: -1, src2: -1, src3: -1}
 		e.snap = c.scope.snapshot()
+		c.progressed = true
+		// A fresh entry needs exactly one scheduling try; marking its slot
+		// (rather than raising schedDirty) keeps the pass partial. Decode
+		// changes nothing about older entries.
+		s := seq & c.robMask
+		c.readyBits[s>>6] |= 1 << (s & 63)
+		c.wakePending = true
 		c.trace(TraceDecode, seq, in, int64(pc))
 
 		nextPC := pc + 1
@@ -943,6 +1271,7 @@ func (c *Core) fetch() {
 			c.incBits(c.scope.robCnt, e.fsb)
 			c.incBits(c.scope.robLoadCnt, e.fsb)
 			c.robIncompleteMem++
+			c.casWaiting++
 			e.stage = stWaiting
 		default: // remaining ALU ops
 			e.src1 = c.resolveSrc(in.Rs1)
@@ -950,6 +1279,9 @@ func (c *Core) fetch() {
 			e.stage = stWaiting
 		}
 
+		if e.stage == stWaiting {
+			c.regWakes(e, seq)
+		}
 		if in.Writes() {
 			c.regTag[in.Rd] = int64(seq)
 		}

@@ -1,6 +1,10 @@
 package cpu
 
-import "sort"
+import (
+	"sort"
+
+	"sfence/internal/isa"
+)
 
 // FenceSite aggregates the behaviour of one static fence instruction.
 // Sites travel inside kernels.Result, which the results pipeline caches
@@ -20,13 +24,17 @@ type fenceProfile struct {
 	sites map[int]*FenceSite
 }
 
-func (p *fenceProfile) site(pc int, scope string) *FenceSite {
+// site returns (creating on first use) the profile slot for the fence at
+// pc. The rendered mnemonic is only materialized on creation — site sits
+// on the fence-stall path, which runs every stalled cycle, and rendering
+// an instruction allocates.
+func (p *fenceProfile) site(pc int, in isa.Instruction) *FenceSite {
 	if p.sites == nil {
 		p.sites = make(map[int]*FenceSite)
 	}
 	s := p.sites[pc]
 	if s == nil {
-		s = &FenceSite{PC: pc, Scope: scope}
+		s = &FenceSite{PC: pc, Scope: in.String()}
 		p.sites[pc] = s
 	}
 	return s

@@ -1,0 +1,132 @@
+package cpu
+
+// This file holds the event-driven scheduling structures that replace the
+// per-cycle full-window scans of completeROB and schedule: a completion
+// min-heap and producer->consumer wakeup lists. Both are pure accelerators
+// — every shortcut is provably equivalent to the scan it replaces, and the
+// differential clock test (naive stepping vs. event-driven Run) plus the
+// golden determinism test pin that equivalence down.
+
+// compNode schedules one executing entry's completion.
+type compNode struct {
+	at  int64  // readyAt cycle
+	seq uint64 // ROB sequence number
+}
+
+// less orders the completion heap by (readyAt, seq). Entries complete
+// exactly at their readyAt cycle (the gate opens no later than the
+// earliest readyAt), so popping due nodes in this order visits them in
+// ascending seq — identical to the ascending scan it replaces.
+func (a compNode) less(b compNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (c *Core) heapPush(n compNode) {
+	h := append(c.compHeap, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].less(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	c.compHeap = h
+}
+
+func (c *Core) heapPop() compNode {
+	h := c.compHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l].less(h[s]) {
+			s = l
+		}
+		if r < n && h[r].less(h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	c.compHeap = h
+	return top
+}
+
+// rebuildCompHeap repopulates the completion heap from the surviving
+// window after a squash, dropping nodes for squashed entries.
+func (c *Core) rebuildCompHeap() {
+	c.compHeap = c.compHeap[:0]
+	next := NeverWakes
+	for seq := c.head; seq < c.tail; seq++ {
+		if e := c.slot(seq); e.stage == stExecuting {
+			c.heapPush(compNode{at: e.readyAt, seq: seq})
+			if e.readyAt < next {
+				next = e.readyAt
+			}
+		}
+	}
+	c.nextComplete = next
+}
+
+// regWake registers the entry in slot `consumer` to be woken when the
+// in-flight producer of operand k completes. Producers already done (or
+// committed) need no registration: the decode-triggered full scan tries
+// the consumer at least once.
+func (c *Core) regWake(src int64, consumer uint64, k int) {
+	if src < 0 || uint64(src) < c.head {
+		return
+	}
+	p := src & int64(c.robMask)
+	if c.entries[p].stage == stDone {
+		return
+	}
+	id := int32(consumer&c.robMask)*3 + int32(k)
+	c.wakeNext[id] = c.wakeHead[p]
+	c.wakeHead[p] = id
+}
+
+// regWakes registers all in-flight operand producers of a freshly decoded
+// (or squash-surviving) waiting entry.
+func (c *Core) regWakes(e *robEntry, seq uint64) {
+	c.regWake(e.src1, seq, 0)
+	c.regWake(e.src2, seq, 1)
+	c.regWake(e.src3, seq, 2)
+}
+
+// fireWakes marks every consumer registered on the completing entry as
+// ready for a scheduling retry and empties the list.
+func (c *Core) fireWakes(seq uint64) {
+	s := seq & c.robMask
+	id := c.wakeHead[s]
+	if id < 0 {
+		return
+	}
+	c.wakeHead[s] = -1
+	for id >= 0 {
+		cs := uint64(id) / 3
+		c.readyBits[cs>>6] |= 1 << (cs & 63)
+		id = c.wakeNext[id]
+	}
+	c.wakePending = true
+}
+
+// wipeWakes clears every wakeup list (used by squash before surviving
+// waiting entries re-register, so no registration node can ever sit in
+// two lists).
+func (c *Core) wipeWakes() {
+	for i := range c.wakeHead {
+		c.wakeHead[i] = -1
+	}
+}

@@ -35,16 +35,37 @@ func RandomConnected(v int, avgDegree float64, seed int64) (*Graph, error) {
 		return nil, fmt.Errorf("graph: average degree %v must be >= 2 (tree edges alone use ~2)", avgDegree)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	adj := make([]map[int32]bool, v)
-	for i := range adj {
-		adj[i] = make(map[int32]bool)
+	// Adjacency as sorted edge slices with binary-search dedup: no
+	// per-vertex map allocation, and the lists come out already in the
+	// deterministic ascending order the CSR wants. Identical edges and RNG
+	// draw order to the previous map-based builder, so generated graphs —
+	// and everything simulated on them — are unchanged.
+	adj := make([][]int32, v)
+	insert := func(a, b int32) {
+		row := adj[a]
+		lo, hi := 0, len(row)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if row[mid] < b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(row) && row[lo] == b {
+			return // duplicate edge
+		}
+		row = append(row, 0)
+		copy(row[lo+1:], row[lo:])
+		row[lo] = b
+		adj[a] = row
 	}
 	addEdge := func(a, b int32) {
 		if a == b {
 			return
 		}
-		adj[a][b] = true
-		adj[b][a] = true
+		insert(a, b)
+		insert(b, a)
 	}
 	// Random spanning tree via a random attachment order.
 	perm := rng.Perm(v)
@@ -64,18 +85,7 @@ func RandomConnected(v int, avgDegree float64, seed int64) (*Graph, error) {
 	}
 	g.Col = make([]int32, g.RowPtr[v])
 	for i := 0; i < v; i++ {
-		at := g.RowPtr[i]
-		// Deterministic neighbor order: ascending.
-		nbs := make([]int32, 0, len(adj[i]))
-		for nb := range adj[i] {
-			nbs = append(nbs, nb)
-		}
-		for x := 1; x < len(nbs); x++ {
-			for y := x; y > 0 && nbs[y-1] > nbs[y]; y-- {
-				nbs[y-1], nbs[y] = nbs[y], nbs[y-1]
-			}
-		}
-		copy(g.Col[at:], nbs)
+		copy(g.Col[g.RowPtr[i]:], adj[i])
 	}
 	return g, nil
 }

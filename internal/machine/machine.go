@@ -66,6 +66,18 @@ type Machine struct {
 	hier  *memsys.Hierarchy
 	cores []*cpu.Core
 	cycle int64
+
+	clock ClockStats
+}
+
+// ClockStats reports how the two-speed clock spent a Run: SlowTicks is the
+// number of cycles stepped one by one, SkippedCycles the cycles covered by
+// fast-forward jumps, and Jumps the number of jumps. SlowTicks+SkippedCycles
+// equals the final cycle count.
+type ClockStats struct {
+	SlowTicks     int64
+	SkippedCycles int64
+	Jumps         int64
 }
 
 // New builds a machine running prog with one thread per entry of threads.
@@ -101,9 +113,18 @@ func New(cfg Config, prog *isa.Program, threads []Thread) (*Machine, error) {
 	return m, nil
 }
 
+// broadcastStore delivers a completed store to the cores that might care.
+// Only a core holding a load that speculatively executed past a fence can
+// react to a remote store (see Core.NoteRemoteStore), so the spec-load
+// occupancy count is an exact snoop filter: skipped cores would have
+// treated the notification as a no-op. This subsumes a directory-mask
+// filter (a core with a speculative load on the line is a sharer), and
+// unlike the L2 sharer mask — which an intervening write to the same line
+// resets while the speculative load is still in flight — it can never skip
+// a core that must replay. See DESIGN.md, "Snoop filtering".
 func (m *Machine) broadcastStore(from int, addr int64) {
 	for _, c := range m.cores {
-		if c.ID() != from {
+		if c.ID() != from && c.SpecLoadsInFlight() > 0 {
 			c.NoteRemoteStore(addr)
 		}
 	}
@@ -126,11 +147,35 @@ func (m *Machine) Core(i int) *cpu.Core { return m.cores[i] }
 
 // Step advances the machine one cycle.
 func (m *Machine) Step() {
+	m.stepCycle()
+}
+
+// stepCycle ticks every core once and folds the whole-machine status scans
+// into the same pass, so Run does not re-walk the cores for Done/Fault
+// every cycle: it reports whether all cores are done, the first core
+// fault, and whether any core is still active (made forward progress this
+// cycle or holds undelivered snoop notifications).
+func (m *Machine) stepCycle() (allDone bool, fault error, active bool) {
+	allDone = true
 	for _, c := range m.cores {
 		c.Tick(m.cycle)
+		if !c.Done() {
+			allDone = false
+		}
+		if c.Active() {
+			active = true
+		}
+		if fault == nil {
+			fault = c.Fault()
+		}
 	}
 	m.cycle++
+	m.clock.SlowTicks++
+	return allDone, fault, active
 }
+
+// Clock returns the two-speed clock's accounting so far.
+func (m *Machine) Clock() ClockStats { return m.clock }
 
 // Done reports whether every core has halted and drained.
 func (m *Machine) Done() bool {
@@ -152,23 +197,81 @@ func (m *Machine) Fault() error {
 	return nil
 }
 
+// traced reports whether any core has a pipeline tracer attached. Tracers
+// observe per-cycle events — notably one TraceFenceStall per stalled cycle
+// — so a traced machine must step every cycle (the slow path).
+func (m *Machine) traced() bool {
+	for _, c := range m.cores {
+		if c.Traced() {
+			return true
+		}
+	}
+	return false
+}
+
 // Run executes until every core is done, a core faults, or the cycle
 // budget is exhausted. It returns the total cycle count.
+//
+// Run is a two-speed, event-driven loop: while any core is active the
+// machine ticks cycle by cycle, but when every core is quiescent —
+// waiting on cache misses, store-buffer drains, or redirect bubbles — the
+// clock jumps straight to the earliest per-core wakeup, crediting the
+// skipped cycles to each core's stall accounting exactly as per-cycle
+// stepping would have. The per-cycle timing model is untouched: results
+// and statistics are bit-identical to naive stepping (asserted by
+// TestClockEquivalence). Attaching a tracer pins the slow path, because
+// tracers observe per-cycle events.
 func (m *Machine) Run() (int64, error) {
 	limit := m.cfg.MaxCycles
 	if limit <= 0 {
 		limit = DefaultMaxCycles
 	}
-	for !m.Done() {
-		if err := m.Fault(); err != nil {
-			return m.cycle, err
-		}
+	if m.Done() {
+		return m.cycle, nil
+	}
+	// A pre-existing fault (from manual stepping) is checked once; from
+	// here on stepCycle reports faults as they happen, so the loop never
+	// re-scans the cores.
+	if err := m.Fault(); err != nil {
+		return m.cycle, err
+	}
+	for {
 		if m.cycle >= limit {
 			return m.cycle, fmt.Errorf("machine: exceeded %d cycles (livelock or runaway program?)", limit)
 		}
-		m.Step()
+		allDone, fault, active := m.stepCycle()
+		if allDone {
+			return m.cycle, nil
+		}
+		if fault != nil {
+			return m.cycle, fault
+		}
+		if active || m.traced() {
+			continue
+		}
+		// Every core is idle: fast-forward to the earliest wakeup. A core
+		// with no scheduled event reports cpu.NeverWakes; if all do (a
+		// deadlocked program), the clamp below jumps straight to the cycle
+		// budget, where the loop reports the same livelock error — with the
+		// same statistics — the naive clock would have spun its way to.
+		wake := cpu.NeverWakes
+		for _, c := range m.cores {
+			if w := c.NextWakeup(); w < wake {
+				wake = w
+			}
+		}
+		if wake > limit {
+			wake = limit
+		}
+		if d := wake - m.cycle; d > 0 {
+			for _, c := range m.cores {
+				c.FastForward(d)
+			}
+			m.cycle = wake
+			m.clock.SkippedCycles += d
+			m.clock.Jumps++
+		}
 	}
-	return m.cycle, nil
 }
 
 // TotalStats aggregates core statistics across the machine.

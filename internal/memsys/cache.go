@@ -202,6 +202,25 @@ func (h *Hierarchy) TotalStats() CoreStats {
 
 func (h *Hierarchy) lineOf(addr int64) int64 { return addr >> h.lineShift }
 
+// Sharers returns the directory's sharer bitmask for the line containing
+// addr — the cores whose L1 may hold a copy — and whether the line is
+// present in the L2 directory at all (an absent line means the mask is
+// unknown and callers must assume every core).
+//
+// Note the mask is a snapshot, not a history: a write Access to the line
+// resets it to the writer alone, and an L2 eviction discards it, while
+// loads that used the line may still be in flight in some core's ROB.
+// Machine.broadcastStore therefore does NOT use it as a snoop filter —
+// doing so could skip a core holding a speculative load that must replay —
+// and relies on the exact per-core spec-load occupancy count instead (see
+// DESIGN.md, "Snoop filtering").
+func (h *Hierarchy) Sharers(addr int64) (uint64, bool) {
+	if l := h.l2.find(h.lineOf(addr)); l != nil {
+		return l.sharers, true
+	}
+	return 0, false
+}
+
 // --- L1 helpers ---
 
 func (c *l1Cache) find(line int64) *l1Line {

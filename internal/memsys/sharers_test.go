@@ -1,0 +1,39 @@
+package memsys
+
+import "testing"
+
+// TestSharers pins the directory accessor's semantics — and the property
+// that makes the mask unusable as an exact snoop filter: a write to a line
+// resets the mask to the writer alone even while other cores may still
+// hold in-flight loads that used it.
+func TestSharers(t *testing.T) {
+	h := MustHierarchy(4, DefaultConfig())
+	const addr = 4096
+
+	if _, ok := h.Sharers(addr); ok {
+		t.Fatalf("untouched line unexpectedly present in L2 directory")
+	}
+
+	h.Access(0, addr, false)
+	h.Access(1, addr, false)
+	mask, ok := h.Sharers(addr)
+	if !ok {
+		t.Fatalf("line missing from L2 directory after reads")
+	}
+	if mask != 0b11 {
+		t.Fatalf("sharers after reads by cores 0 and 1 = %b, want 11", mask)
+	}
+
+	// Same line, different word: the mask is per line.
+	if m, _ := h.Sharers(addr + 8); m != 0b11 {
+		t.Fatalf("sharers of sibling word = %b, want 11", m)
+	}
+
+	// A write by core 2 invalidates the other copies and resets the mask —
+	// losing the fact that cores 0 and 1 ever held the line.
+	h.Access(2, addr, true)
+	mask, ok = h.Sharers(addr)
+	if !ok || mask != 0b100 {
+		t.Fatalf("sharers after write by core 2 = %b (present=%v), want 100", mask, ok)
+	}
+}

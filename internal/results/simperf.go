@@ -1,0 +1,185 @@
+package results
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sfence/internal/exp"
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// KindSimPerf is the envelope kind of the simulator-performance artifact
+// (BENCH_SIMPERF.json). Unlike every other artifact it records wall-clock
+// measurements of the simulator itself, so it is not deterministic and is
+// only written when explicitly requested (sfence-report -simperf).
+const KindSimPerf = "simperf"
+
+const simPerfTitle = "Simulator performance — naive per-cycle stepping vs. event-driven clock"
+
+// SimPerfRow is one workload's clock comparison: the same simulation run
+// under naive per-cycle stepping (Step/Done/Fault, the pre-event-driven
+// Run loop) and under the two-speed event-driven Run, with identical
+// results asserted before the timings are recorded.
+type SimPerfRow struct {
+	Bench     string `json:"bench"`
+	Mode      string `json:"mode"`
+	Threads   int    `json:"threads"`
+	Ops       int    `json:"ops"`
+	Workload  int    `json:"workload,omitempty"`
+	SimCycles int64  `json:"simCycles"`
+
+	NaiveNs int64 `json:"naiveNs"`
+	EventNs int64 `json:"eventNs"`
+
+	NaiveCyclesPerSec float64 `json:"naiveCyclesPerSec"`
+	EventCyclesPerSec float64 `json:"eventCyclesPerSec"`
+	// Speedup is event-driven over naive wall clock for the same machine.
+	Speedup float64 `json:"speedup"`
+
+	// Clock accounting of the event-driven run: cycles stepped one by one
+	// vs. covered by fast-forward jumps.
+	SlowTicks     int64 `json:"slowTicks"`
+	SkippedCycles int64 `json:"skippedCycles"`
+	Jumps         int64 `json:"jumps"`
+}
+
+// SimPerfReport is the BENCH_SIMPERF.json payload.
+type SimPerfReport struct {
+	GoVersion string       `json:"goVersion"`
+	Rows      []SimPerfRow `json:"rows"`
+}
+
+// simPerfCases are the tracked workloads: the fence-drain microbenchmark
+// is the paper's Fig. 10 pattern (fence-heavy, miss-heavy — the
+// event-driven clock's home turf and the ISSUE's acceptance workload),
+// dekker is a contended lock-free kernel where spin loops keep cores
+// active and the win comes mostly from the cheaper per-cycle path.
+func simPerfCases(sc exp.Scale) []struct {
+	bench string
+	opts  kernels.Options
+} {
+	ops := 400
+	wl := 8
+	if sc == exp.Quick {
+		ops = 200
+		wl = 4
+	}
+	return []struct {
+		bench string
+		opts  kernels.Options
+	}{
+		{"fence-drain", kernels.Options{Mode: kernels.Traditional, Ops: ops}},
+		{"fence-drain", kernels.Options{Mode: kernels.Scoped, Ops: ops}},
+		{"dekker", kernels.Options{Mode: kernels.Traditional, Ops: 60, Workload: wl}},
+	}
+}
+
+// buildMachine assembles a ready-to-run machine for one case.
+func buildMachine(bench string, opts kernels.Options) (*kernels.Kernel, *machine.Machine, error) {
+	k, err := kernels.Build(bench, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := machine.New(machine.DefaultConfig(), k.Program, k.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	for addr, val := range k.MemInit {
+		m.Image().Store(addr, val)
+	}
+	if k.InitImage != nil {
+		k.InitImage(m.Image())
+	}
+	return k, m, nil
+}
+
+// runNaive drives the machine with the pre-event-driven loop: one Step per
+// cycle with the Done/Fault scans Run used to perform.
+func runNaive(m *machine.Machine) (int64, error) {
+	limit := int64(machine.DefaultMaxCycles)
+	for !m.Done() {
+		if err := m.Fault(); err != nil {
+			return m.Cycle(), err
+		}
+		if m.Cycle() >= limit {
+			return m.Cycle(), fmt.Errorf("results: naive run exceeded %d cycles", limit)
+		}
+		m.Step()
+	}
+	return m.Cycle(), nil
+}
+
+// RunSimPerf measures every tracked workload under both clocks and
+// asserts the runs are bit-identical (cycle count and aggregate core
+// statistics) before recording the timings.
+func RunSimPerf(sc exp.Scale) (SimPerfReport, error) {
+	rep := SimPerfReport{GoVersion: runtime.Version()}
+	for _, tc := range simPerfCases(sc) {
+		kN, mN, err := buildMachine(tc.bench, tc.opts)
+		if err != nil {
+			return rep, fmt.Errorf("results: simperf %s: %w", tc.bench, err)
+		}
+		_, mE, err := buildMachine(tc.bench, tc.opts)
+		if err != nil {
+			return rep, fmt.Errorf("results: simperf %s: %w", tc.bench, err)
+		}
+
+		t0 := time.Now()
+		naiveCycles, err := runNaive(mN)
+		naiveNs := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return rep, fmt.Errorf("results: simperf %s (naive): %w", tc.bench, err)
+		}
+		t0 = time.Now()
+		eventCycles, err := mE.Run()
+		eventNs := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return rep, fmt.Errorf("results: simperf %s (event): %w", tc.bench, err)
+		}
+
+		if naiveCycles != eventCycles {
+			return rep, fmt.Errorf("results: simperf %s: clock divergence: naive %d cycles, event-driven %d", tc.bench, naiveCycles, eventCycles)
+		}
+		sn, se := mN.TotalStats(), mE.TotalStats()
+		if sn != se {
+			return rep, fmt.Errorf("results: simperf %s: clock divergence in core stats:\nnaive %+v\nevent %+v", tc.bench, sn, se)
+		}
+		if kN.Verify != nil {
+			if err := kN.Verify(mE.Image()); err != nil {
+				return rep, fmt.Errorf("results: simperf %s: %w", tc.bench, err)
+			}
+		}
+
+		cs := mE.Clock()
+		row := SimPerfRow{
+			Bench:     tc.bench,
+			Mode:      tc.opts.Mode.String(),
+			Threads:   len(kN.Threads),
+			Ops:       tc.opts.Ops,
+			Workload:  tc.opts.Workload,
+			SimCycles: eventCycles,
+			NaiveNs:   naiveNs,
+			EventNs:   eventNs,
+			Speedup:   float64(naiveNs) / float64(eventNs),
+
+			SlowTicks:     cs.SlowTicks,
+			SkippedCycles: cs.SkippedCycles,
+			Jumps:         cs.Jumps,
+		}
+		if naiveNs > 0 {
+			row.NaiveCyclesPerSec = float64(naiveCycles) / (float64(naiveNs) / 1e9)
+		}
+		if eventNs > 0 {
+			row.EventCyclesPerSec = float64(eventCycles) / (float64(eventNs) / 1e9)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// SimPerfJSON renders the simulator-performance artifact.
+func SimPerfJSON(rep SimPerfReport, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindSimPerf, simPerfTitle, sc, rep))
+}

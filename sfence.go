@@ -262,6 +262,11 @@ type (
 	ResultArtifact = results.Artifact
 	// ResultClaim is one machine-checkable paper claim.
 	ResultClaim = results.Claim
+	// SimPerfReport is the simulator-performance artifact payload:
+	// naive per-cycle stepping vs. the event-driven clock.
+	SimPerfReport = results.SimPerfReport
+	// SimPerfRow is one workload's clock comparison.
+	SimPerfRow = results.SimPerfRow
 	// ExperimentRunner executes one benchmark configuration for the
 	// experiment layer (see SetExperimentRunner).
 	ExperimentRunner = exp.Runner
@@ -292,6 +297,11 @@ func PaperClaims() []ResultClaim { return results.Claims() }
 // identities.
 func AblationSpecs() []AblationSpecEntry { return results.AblationSpecs() }
 
+// RunSimPerf measures the simulator itself: every tracked workload is run
+// under naive per-cycle stepping and under the event-driven clock,
+// asserted bit-identical, and timed (the BENCH_SIMPERF.json payload).
+func RunSimPerf(sc Scale) (SimPerfReport, error) { return results.RunSimPerf(sc) }
+
 // Experiment-layer hooks and JSON artifact encoders.
 var (
 	// SetExperimentRunner routes every experiment simulation through a
@@ -308,6 +318,7 @@ var (
 	TableIIIJSON     = results.TableIIIJSON
 	TableIVJSON      = results.TableIVJSON
 	HardwareCostJSON = results.HardwareCostJSON
+	SimPerfJSON      = results.SimPerfJSON
 )
 
 // Envelope kinds for the JSON artifact encoders.
