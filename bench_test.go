@@ -6,10 +6,30 @@
 package sfence_test
 
 import (
+	"context"
 	"testing"
 
 	"sfence"
 )
+
+// benchLab returns an uncached quick-scale Lab: each iteration should
+// re-simulate, so the benchmark measures regeneration, not cache hits.
+func benchLab() *sfence.Lab { return sfence.NewLab(sfence.WithScale(sfence.Quick)) }
+
+// runExperiment runs one registry experiment on a fresh Lab and returns
+// its payload.
+func runExperiment[T any](b *testing.B, id string) T {
+	b.Helper()
+	res, err := benchLab().Run(context.Background(), id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, ok := res.Data.(T)
+	if !ok {
+		b.Fatalf("%s payload is %T", id, res.Data)
+	}
+	return payload
+}
 
 // BenchmarkTable3Defaults pins the Table III defaults (configuration
 // construction is trivially cheap; the benchmark exists so the table has a
@@ -36,10 +56,7 @@ func BenchmarkTable4Registry(b *testing.B) {
 // the mean peak speedup across the four lock-free algorithms.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := sfence.Figure12(sfence.Quick)
-		if err != nil {
-			b.Fatal(err)
-		}
+		series := runExperiment[[]sfence.SpeedupSeries](b, "fig12")
 		sum := 0.0
 		for _, s := range series {
 			peak, _ := s.Peak()
@@ -53,10 +70,7 @@ func BenchmarkFigure12(b *testing.B) {
 // reports the mean S-over-T speedup.
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		groups, err := sfence.Figure13(sfence.Quick)
-		if err != nil {
-			b.Fatal(err)
-		}
+		groups := runExperiment[[]sfence.BenchGroup](b, "fig13")
 		sum := 0.0
 		for _, g := range groups {
 			sum += 1 / g.Bars[1].Total() // S normalized against T=1
@@ -69,10 +83,7 @@ func BenchmarkFigure13(b *testing.B) {
 // reports the mean set-scope time normalized to class scope.
 func BenchmarkFigure14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		groups, err := sfence.Figure14(sfence.Quick)
-		if err != nil {
-			b.Fatal(err)
-		}
+		groups := runExperiment[[]sfence.BenchGroup](b, "fig14")
 		sum := 0.0
 		for _, g := range groups {
 			sum += g.Bars[1].Total()
@@ -86,10 +97,7 @@ func BenchmarkFigure14(b *testing.B) {
 // largest for the set-scope applications).
 func BenchmarkFigure15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		groups, err := sfence.Figure15(sfence.Quick)
-		if err != nil {
-			b.Fatal(err)
-		}
+		groups := runExperiment[[]sfence.BenchGroup](b, "fig15")
 		var speedup float64
 		var n int
 		for _, g := range groups {
@@ -115,10 +123,7 @@ func BenchmarkFigure15(b *testing.B) {
 // S-Fence speedup with a 256-entry ROB.
 func BenchmarkFigure16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		groups, err := sfence.Figure16(sfence.Quick)
-		if err != nil {
-			b.Fatal(err)
-		}
+		groups := runExperiment[[]sfence.BenchGroup](b, "fig16")
 		var speedup float64
 		var n int
 		for _, g := range groups {
@@ -154,18 +159,14 @@ func BenchmarkHardwareCost(b *testing.B) {
 // BenchmarkAblationFSBEntries regenerates the FSB-size ablation.
 func BenchmarkAblationFSBEntries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sfence.AblationFSBEntries(sfence.Quick); err != nil {
-			b.Fatal(err)
-		}
+		runExperiment[sfence.AblationSet](b, "ablation/fsb-entries")
 	}
 }
 
 // BenchmarkAblationFIFOStoreBuffer regenerates the TSO-vs-RMO ablation.
 func BenchmarkAblationFIFOStoreBuffer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sfence.AblationFIFOStoreBuffer(sfence.Quick); err != nil {
-			b.Fatal(err)
-		}
+		runExperiment[sfence.AblationSet](b, "ablation/fifo-store-buffer")
 	}
 }
 

@@ -10,6 +10,7 @@
 package sfence_test
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"reflect"
@@ -120,7 +121,7 @@ func TestClockEquivalenceKernels(t *testing.T) {
 					_, mE := buildKernelMachine(t, bench, opts, cfg)
 
 					nc := naiveRun(t, mN)
-					ec, err := mE.Run()
+					ec, err := mE.Run(context.Background())
 					if err != nil {
 						t.Fatalf("event-driven run: %v", err)
 					}
@@ -185,7 +186,7 @@ func TestClockEquivalenceLitmus(t *testing.T) {
 				}
 				mN, mE := newMachine(), newMachine()
 				nc := naiveRun(t, mN)
-				ec, err := mE.Run()
+				ec, err := mE.Run(context.Background())
 				if err != nil {
 					t.Fatalf("event-driven run: %v", err)
 				}
@@ -204,7 +205,7 @@ func TestClockTracingPinsSlowPath(t *testing.T) {
 	for i := 0; i < m.Cores(); i++ {
 		m.Core(i).SetTracer(countingTracer{})
 	}
-	cycles, err := m.Run()
+	cycles, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatalf("traced run: %v", err)
 	}
@@ -224,7 +225,7 @@ func TestClockTracingPinsSlowPath(t *testing.T) {
 func TestClockFastForwardEngages(t *testing.T) {
 	_, m := buildKernelMachine(t, "fence-drain",
 		kernels.Options{Mode: kernels.Traditional, Ops: 100}, machine.DefaultConfig())
-	cycles, err := m.Run()
+	cycles, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -1,20 +1,27 @@
-// Command sfence-bench regenerates every table and figure of the paper's
-// evaluation section (and the repository's extra ablations) on the
-// simulated machine.
+// Command sfence-bench regenerates individual tables and figures of the
+// paper's evaluation section (and the repository's extra ablations) on
+// the simulated machine, by experiment ID from the shared registry.
 //
 // Examples:
 //
-//	sfence-bench -all            # everything, full scale
-//	sfence-bench -fig12 -quick   # just Figure 12, reduced sizing
-//	sfence-bench -table3 -table4 -hwcost
-//	sfence-bench -fig13 -json    # schema-versioned JSON envelope on stdout
-//	sfence-bench -all -progress  # per-experiment progress on stderr
+//	sfence-bench -list                   # print every experiment ID
+//	sfence-bench -all                    # every deterministic experiment
+//	sfence-bench -quick fig12            # just Figure 12, reduced sizing
+//	sfence-bench table3 table4 hwcost
+//	sfence-bench -json fig13             # schema-versioned JSON envelope
+//	sfence-bench -quick ablation/fsb-entries ablation/fss-depth
+//	sfence-bench -cache /tmp/sfc -all    # memoize simulations on disk
+//	sfence-bench simperf                 # measure the simulator itself
+//
+// An unknown experiment ID fails with an error listing every valid ID.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -23,29 +30,18 @@ import (
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "run every experiment")
-		fig12     = flag.Bool("fig12", false, "Figure 12: impact of workload")
-		fig13     = flag.Bool("fig13", false, "Figure 13: full applications (T/S/T+/S+)")
-		fig14     = flag.Bool("fig14", false, "Figure 14: class vs set scope")
-		fig15     = flag.Bool("fig15", false, "Figure 15: memory latency sweep")
-		fig16     = flag.Bool("fig16", false, "Figure 16: ROB size sweep")
-		table3    = flag.Bool("table3", false, "Table III: architectural parameters")
-		table4    = flag.Bool("table4", false, "Table IV: benchmark descriptions")
-		hwcost    = flag.Bool("hwcost", false, "Section VI-E: hardware cost")
-		ablations = flag.Bool("ablations", false, "design-choice ablations (beyond the paper)")
+		all        = flag.Bool("all", false, "run every deterministic experiment (excludes simperf, which is wall-clock based)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		quick      = flag.Bool("quick", false, "reduced workload sizes")
 		asJSON     = flag.Bool("json", false, "emit schema-versioned JSON envelopes instead of ASCII")
 		progress   = flag.Bool("progress", false, "report per-experiment progress on stderr")
+		cacheDir   = flag.String("cache", "", "memoize simulations in this run-cache directory")
+		parallel   = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	sc := sfence.Full
-	if *quick {
-		sc = sfence.Quick
-	}
-	any := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		pprof.StopCPUProfile() // flush a partial profile before exiting
@@ -74,106 +70,89 @@ func main() {
 			}
 		}()
 	}
-	// emit prints either the ASCII rendering or the JSON envelope.
-	emit := func(render func() string, encode func() ([]byte, error)) {
-		if !*asJSON {
-			fmt.Println(render())
-			return
+
+	if *list {
+		for _, spec := range sfence.Experiments() {
+			fmt.Printf("%-26s %s\n", spec.ID, spec.Title)
 		}
-		data, err := encode()
+		return
+	}
+
+	ids := flag.Args()
+	if *all {
+		for _, spec := range sfence.Experiments() {
+			if spec.InSuite() { // simperf is wall-clock based: explicit only
+				ids = append(ids, spec.ID)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "\nname experiments to run (see -list), or pass -all")
+		pprof.StopCPUProfile()
+		os.Exit(2)
+	}
+	// Validate every ID up front (an unknown ID must not discard the
+	// wall-clock already spent on earlier experiments) and drop
+	// duplicates, e.g. from combining -all with explicit IDs.
+	seen := make(map[string]bool, len(ids))
+	valid := ids[:0]
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if _, err := sfence.LookupExperiment(id); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			pprof.StopCPUProfile()
+			os.Exit(2)
+		}
+		valid = append(valid, id)
+	}
+	ids = valid
+
+	sc := sfence.Full
+	if *quick {
+		sc = sfence.Quick
+	}
+	labOpts := []sfence.LabOption{
+		sfence.WithScale(sc),
+		sfence.WithParallelism(*parallel),
+	}
+	if *cacheDir != "" {
+		cache, err := sfence.NewRunCache(*cacheDir)
 		if err != nil {
 			fail(err)
 		}
-		os.Stdout.Write(data)
+		labOpts = append(labOpts, sfence.WithCache(cache))
 	}
-
 	if *progress {
-		sfence.SetExperimentProgress(func(experiment string, done, total int) {
+		labOpts = append(labOpts, sfence.WithProgress(func(experiment string, done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d", experiment, done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
-		})
+		}))
 	}
+	lab := sfence.NewLab(labOpts...)
 
-	if *all || *table3 {
-		any = true
-		emit(
-			func() string { return sfence.RenderTableIII(sfence.DefaultConfig()) },
-			func() ([]byte, error) { return sfence.TableIIIJSON(sfence.DefaultConfig(), sc) })
-	}
-	if *all || *table4 {
-		any = true
-		emit(sfence.RenderTableIV,
-			func() ([]byte, error) { return sfence.TableIVJSON(sc) })
-	}
-	if *all || *hwcost {
-		any = true
-		rep := sfence.HardwareCost(sfence.DefaultConfig().Core)
-		emit(
-			func() string { return sfence.RenderHardwareCost(rep) },
-			func() ([]byte, error) { return sfence.HardwareCostJSON(rep, sc) })
-	}
-	if *all || *fig12 {
-		any = true
-		series, err := sfence.Figure12(sc)
+	// Ctrl-C cancels the in-flight simulations mid-cycle-loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	for _, id := range ids {
+		res, err := lab.Run(ctx, id)
 		if err != nil {
 			fail(err)
-		}
-		emit(
-			func() string { return sfence.RenderFigure12(series) },
-			func() ([]byte, error) { return sfence.Figure12JSON(series, sc) })
-	}
-	type figure struct {
-		on    *bool
-		kind  string
-		title string
-		fn    func(sfence.Scale) ([]sfence.BenchGroup, error)
-	}
-	for _, f := range []figure{
-		{fig13, sfence.KindFigure13, "Figure 13 — Normalized execution time (T, S, T+, S+)", sfence.Figure13},
-		{fig14, sfence.KindFigure14, "Figure 14 — Class scope vs. set scope", sfence.Figure14},
-		{fig15, sfence.KindFigure15, "Figure 15 — Varying memory access latency (200/300/500 cycles)", sfence.Figure15},
-		{fig16, sfence.KindFigure16, "Figure 16 — Varying ROB size (64/128/256 entries)", sfence.Figure16},
-	} {
-		if !*all && !*f.on {
-			continue
-		}
-		any = true
-		groups, err := f.fn(sc)
-		if err != nil {
-			fail(err)
-		}
-		f := f
-		emit(
-			func() string { return sfence.RenderGroups(f.title, groups) },
-			func() ([]byte, error) { return sfence.GroupsJSON(f.kind, groups, sc) })
-	}
-	if *all || *ablations {
-		any = true
-		var sets []sfence.AblationSet
-		for _, a := range sfence.AblationSpecs() {
-			rows, err := a.Fn(sc)
-			if err != nil {
-				fail(err)
-			}
-			if *asJSON {
-				sets = append(sets, sfence.AblationSet{Name: a.Name, Title: a.Title, Rows: rows})
-				continue
-			}
-			fmt.Println(sfence.RenderAblation("Ablation — "+a.Title, rows))
 		}
 		if *asJSON {
-			data, err := sfence.AblationsJSON(sets, sc)
+			data, err := res.JSON()
 			if err != nil {
 				fail(err)
 			}
 			os.Stdout.Write(data)
+			continue
 		}
-	}
-	if !any {
-		flag.Usage()
-		pprof.StopCPUProfile()
-		os.Exit(2)
+		fmt.Println(res.Render())
 	}
 }

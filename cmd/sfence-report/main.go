@@ -2,11 +2,13 @@
 // the repository's paper-vs-measured record in one shot: EXPERIMENTS.md
 // plus the machine-readable BENCH_*.json envelopes.
 //
-// Simulations are memoized in a content-addressed run cache (disabled
-// with -no-cache), so experiments sharing baseline configurations are
-// simulated once, and a second invocation against a warm cache re-runs
-// nothing at all — the final "cache:" line reports exactly how many
-// simulations were executed vs. served from the cache.
+// The suite runs in a sfence.Lab session whose simulations are memoized
+// in a content-addressed run cache (disabled with -no-cache), so
+// experiments sharing baseline configurations are simulated once, and a
+// second invocation against a warm cache re-runs nothing at all — the
+// final "cache:" line reports exactly how many simulations were executed
+// vs. served from the cache. Interrupting the run (Ctrl-C) cancels the
+// in-flight simulations cleanly and writes no artifacts.
 //
 // Examples:
 //
@@ -16,9 +18,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +38,7 @@ func main() {
 		cacheDir   = flag.String("cache", ".sfence-cache", "run-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the run cache")
 		progress   = flag.Bool("progress", true, "report per-experiment progress on stderr")
+		parallel   = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
 		simperf    = flag.Bool("simperf", false, "also measure the simulator itself (naive vs. event-driven clock) and write BENCH_SIMPERF.json; wall-clock based, so not byte-deterministic")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -68,28 +74,37 @@ func main() {
 		}()
 	}
 
+	// Ctrl-C cancels the in-flight simulations mid-cycle-loop; nothing is
+	// written on a cancelled run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	sc := sfence.Full
 	if *quick {
 		sc = sfence.Quick
 	}
-	opts := sfence.SuiteOptions{Scale: sc}
+	labOpts := []sfence.LabOption{
+		sfence.WithScale(sc),
+		sfence.WithParallelism(*parallel),
+	}
 	if !*noCache {
 		cache, err := sfence.NewRunCache(*cacheDir)
 		if err != nil {
 			fail(err)
 		}
-		opts.Cache = cache
+		labOpts = append(labOpts, sfence.WithCache(cache))
 	}
 	if *progress {
-		opts.Progress = func(experiment string, done, total int) {
+		labOpts = append(labOpts, sfence.WithProgress(func(experiment string, done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d", experiment, done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
-		}
+		}))
 	}
+	lab := sfence.NewLab(labOpts...)
 
-	suite, err := sfence.RunSuite(opts)
+	suite, err := lab.RunSuite(ctx)
 	if err != nil {
 		fail(err)
 	}
@@ -107,11 +122,11 @@ func main() {
 	}
 
 	if *simperf {
-		rep, err := sfence.RunSimPerf(sc)
+		res, err := lab.Run(ctx, "simperf")
 		if err != nil {
 			fail(err)
 		}
-		data, err := sfence.SimPerfJSON(rep, sc)
+		data, err := res.JSON()
 		if err != nil {
 			fail(err)
 		}
@@ -120,6 +135,10 @@ func main() {
 			fail(err)
 		}
 		paths = append(paths, spPath)
+		rep, ok := res.Data.(sfence.SimPerfReport)
+		if !ok {
+			fail(errors.New("simperf payload has unexpected type"))
+		}
 		for _, r := range rep.Rows {
 			fmt.Fprintf(os.Stderr, "simperf: %-12s %-12s %9d cycles  naive %8.0f cyc/s  event %9.0f cyc/s  %6.2fx\n",
 				r.Bench, r.Mode, r.SimCycles, r.NaiveCyclesPerSec, r.EventCyclesPerSec, r.Speedup)

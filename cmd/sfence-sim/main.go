@@ -6,13 +6,19 @@
 //	sfence-sim -bench wsq -mode scoped -workload 3
 //	sfence-sim -bench pst -mode traditional -ops 400 -threads 8
 //	sfence-sim -bench barnes -mode scoped -spec -memlat 500
+//	sfence-sim -bench pst -timeout 2s   # time-box the simulation
 //	sfence-sim -list
+//
+// The run is cancellable: Ctrl-C (or the -timeout deadline) stops the
+// simulation mid-cycle-loop with a clean context error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sfence"
 )
@@ -33,6 +39,7 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		traceCyc = flag.Int64("trace", 0, "write a pipeline trace of the first N cycles to stderr")
 		profile  = flag.Bool("profile", false, "print the per-fence stall profile")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -74,12 +81,20 @@ func main() {
 		cfg.Core.ROBSize = *robsize
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res sfence.BenchmarkResult
 	var err error
 	if *traceCyc > 0 {
-		res, err = sfence.RunBenchmarkTraced(*bench, opts, cfg, sfence.NewTextTracer(os.Stderr, *traceCyc))
+		res, err = sfence.RunBenchmarkTraced(ctx, *bench, opts, cfg, sfence.NewTextTracer(os.Stderr, *traceCyc))
 	} else {
-		res, err = sfence.RunBenchmark(*bench, opts, cfg)
+		res, err = sfence.RunBenchmarkContext(ctx, *bench, opts, cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,144 @@
+package sfence
+
+import (
+	"context"
+	"sync"
+
+	"sfence/internal/exp"
+)
+
+// This file is the one-release compatibility layer for the pre-Lab API:
+// figure-named experiment functions and the process-global runner and
+// progress hooks. The hooks no longer exist inside internal/exp — all
+// experiment state is per-Lab — so these shims keep a single facade-level
+// default configuration that only the deprecated functions below consult.
+// New code should build a Lab instead; see the README migration table.
+
+var (
+	compatMu       sync.RWMutex
+	compatRunner   ExperimentRunner
+	compatProgress ExperimentProgress
+)
+
+// SetExperimentRunner routes the deprecated package-level experiment
+// functions below through a custom runner and returns the previous one.
+//
+// Deprecated: runners are per-session now. Use
+// NewLab(WithCache(cache)) — or NewLab(WithRunner(r)) for a custom
+// runner — so concurrent callers cannot stomp each other's runner. Note
+// the Runner signature gained a leading context.Context.
+func SetExperimentRunner(r ExperimentRunner) ExperimentRunner {
+	compatMu.Lock()
+	defer compatMu.Unlock()
+	prev := compatRunner
+	compatRunner = r
+	return prev
+}
+
+// SetExperimentProgress installs a progress callback for the deprecated
+// package-level experiment functions below and returns the previous one.
+//
+// Deprecated: progress sinks are per-session now. Use
+// NewLab(WithProgress(p)).
+func SetExperimentProgress(p ExperimentProgress) ExperimentProgress {
+	compatMu.Lock()
+	defer compatMu.Unlock()
+	prev := compatProgress
+	compatProgress = p
+	return prev
+}
+
+// compatSession builds a one-shot session from the deprecated global
+// hooks.
+func compatSession() *exp.Session {
+	compatMu.RLock()
+	defer compatMu.RUnlock()
+	return exp.NewSession(compatRunner, compatProgress, 0)
+}
+
+// Figure12 reproduces the paper's "Impact of workload" experiment.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "fig12") — or the
+// typed session equivalent — so the run is cancellable and per-session.
+func Figure12(sc Scale) ([]SpeedupSeries, error) {
+	return compatSession().Figure12(context.Background(), sc)
+}
+
+// Figure13 reproduces "Performance on full applications" (T, S, T+, S+).
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "fig13").
+func Figure13(sc Scale) ([]BenchGroup, error) {
+	return compatSession().Figure13(context.Background(), sc)
+}
+
+// Figure14 reproduces "Class scope vs. Set scope".
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "fig14").
+func Figure14(sc Scale) ([]BenchGroup, error) {
+	return compatSession().Figure14(context.Background(), sc)
+}
+
+// Figure15 reproduces "Varying memory access latency".
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "fig15").
+func Figure15(sc Scale) ([]BenchGroup, error) {
+	return compatSession().Figure15(context.Background(), sc)
+}
+
+// Figure16 reproduces "Varying ROB size".
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "fig16").
+func Figure16(sc Scale) ([]BenchGroup, error) {
+	return compatSession().Figure16(context.Background(), sc)
+}
+
+// AblationFSBEntries sweeps the FSB entry count.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "ablation/fsb-entries").
+func AblationFSBEntries(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationFSBEntries(context.Background(), sc)
+}
+
+// AblationFSSDepth sweeps the fence scope stack depth.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "ablation/fss-depth").
+func AblationFSSDepth(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationFSSDepth(context.Background(), sc)
+}
+
+// AblationStoreBuffer sweeps store-buffer capacity.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "ablation/store-buffer").
+func AblationStoreBuffer(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationStoreBuffer(context.Background(), sc)
+}
+
+// AblationFIFOStoreBuffer compares RMO and TSO-like store buffers.
+//
+// Deprecated: use
+// NewLab(WithScale(sc)).Run(ctx, "ablation/fifo-store-buffer").
+func AblationFIFOStoreBuffer(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationFIFOStoreBuffer(context.Background(), sc)
+}
+
+// AblationFinerFences measures the Section VII scoped store-store fence.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "ablation/finer-fences").
+func AblationFinerFences(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationFinerFences(context.Background(), sc)
+}
+
+// AblationNestedScopes sweeps scope-hardware sizes on the nested-scope
+// microbenchmark.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "ablation/nested-scopes").
+func AblationNestedScopes(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationNestedScopes(context.Background(), sc)
+}
+
+// AblationRecovery compares the FSS recovery mechanisms.
+//
+// Deprecated: use NewLab(WithScale(sc)).Run(ctx, "ablation/fss-recovery").
+func AblationRecovery(sc Scale) ([]AblationRow, error) {
+	return compatSession().AblationRecovery(context.Background(), sc)
+}

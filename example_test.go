@@ -1,6 +1,7 @@
 package sfence_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func ExampleNewBuilder() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("consumer observed payload: %d\n", m.Image().Load(8192))
@@ -76,16 +77,22 @@ func ExampleRunBenchmark() {
 	// fence-stall fraction in [0,1]: true
 }
 
-// ExampleFigure12 regenerates the paper's workload-sweep experiment at
-// quick scale: the speedup of S-Fence over traditional fences for the
-// four lock-free algorithms. The simulator is deterministic, so the
-// qualitative result — S-Fence always wins somewhere on the sweep — is
-// stable.
-func ExampleFigure12() {
-	series, err := sfence.Figure12(sfence.Quick)
+// ExampleNewLab builds a Lab session — the context-aware, option-based
+// experiment API — and regenerates the paper's workload-sweep experiment
+// at quick scale through the experiment registry. The Lab owns its run
+// cache, worker pool, and progress sink, so several Labs can run
+// experiments concurrently in one process; the context can cancel or
+// time-box every simulation mid-cycle-loop.
+func ExampleNewLab() {
+	lab := sfence.NewLab(
+		sfence.WithScale(sfence.Quick),
+		sfence.WithCache(sfence.NewMemCache()),
+	)
+	res, err := lab.Run(context.Background(), "fig12")
 	if err != nil {
 		log.Fatal(err)
 	}
+	series := res.Data.([]sfence.SpeedupSeries)
 	fmt.Printf("curves: %d\n", len(series))
 	allWin := true
 	for _, s := range series {
@@ -95,6 +102,8 @@ func ExampleFigure12() {
 		}
 	}
 	fmt.Printf("every benchmark peaks above 1.0x: %t\n", allWin)
+	// The simulator is deterministic, so the qualitative result —
+	// S-Fence always wins somewhere on the sweep — is stable.
 	// Output:
 	// curves: 4
 	// every benchmark peaks above 1.0x: true

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -111,7 +112,7 @@ func run(scoped bool) (cycles int64, count int64, stalls uint64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cycles, err = m.Run()
+	cycles, err = m.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

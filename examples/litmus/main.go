@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,7 +82,7 @@ func run(v variant) (r1, r2 int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	return m.Image().Load(addrR1), m.Image().Load(addrR2)

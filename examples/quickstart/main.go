@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"sfence"
 )
@@ -55,7 +57,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cycles, err := m.Run()
+	// Simulations are cancellable: this context time-boxes the run (it
+	// finishes in microseconds; the deadline is a safety net).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cycles, err := m.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := sfence.DefaultConfig()
 	fmt.Println("Chase-Lev work-stealing queue: 1 owner + 3 thieves, 120 tasks")
 	fmt.Printf("%-10s%14s%14s%10s%16s\n", "workload", "T cycles", "S cycles", "speedup", "stall cut")
@@ -21,7 +23,7 @@ func main() {
 		var cycles [2]int64
 		var stalls [2]uint64
 		for i, mode := range []sfence.FenceMode{sfence.Traditional, sfence.Scoped} {
-			res, err := sfence.RunBenchmark("wsq", sfence.BenchmarkOptions{
+			res, err := sfence.RunBenchmarkContext(ctx, "wsq", sfence.BenchmarkOptions{
 				Mode: mode, Threads: 4, Ops: 120, Workload: w,
 			}, cfg)
 			if err != nil {

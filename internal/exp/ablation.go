@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"sfence/internal/cpu"
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
@@ -22,14 +24,14 @@ type ablationJob struct {
 	run figRun
 }
 
-// runAblation executes the jobs on the worker pool and fills in each
-// row's cycle count and fence-stall fraction, preserving job order.
-func runAblation(experiment string, jobs []ablationJob) ([]AblationRow, error) {
+// runAblation executes the jobs on the session's worker pool and fills in
+// each row's cycle count and fence-stall fraction, preserving job order.
+func (s *Session) runAblation(ctx context.Context, experiment string, jobs []ablationJob) ([]AblationRow, error) {
 	runs := make([]*figRun, len(jobs))
 	for i := range jobs {
 		runs[i] = &jobs[i].run
 	}
-	if err := execute(experiment, runs); err != nil {
+	if err := s.execute(ctx, experiment, runs); err != nil {
 		return nil, err
 	}
 	out := make([]AblationRow, len(jobs))
@@ -46,7 +48,7 @@ func runAblation(experiment string, jobs []ablationJob) ([]AblationRow, error) {
 // (1 class entry + reserved set entry up to 7+1). The paper fixes 4; the
 // sweep shows that small FSBs force entry sharing (stricter ordering,
 // slightly slower) while more than 4 buys nothing for these workloads.
-func AblationFSBEntries(sc Scale) ([]AblationRow, error) {
+func (s *Session) AblationFSBEntries(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "pst"} {
 		for _, n := range []int{2, 3, 4, 8} {
@@ -58,12 +60,12 @@ func AblationFSBEntries(sc Scale) ([]AblationRow, error) {
 			})
 		}
 	}
-	return runAblation("Ablation FSBEntries", jobs)
+	return s.runAblation(ctx, "Ablation FSBEntries", jobs)
 }
 
 // AblationFSSDepth sweeps the fence scope stack depth; depth 1 overflows
 // on every nested scope, demoting fences to full fences.
-func AblationFSSDepth(sc Scale) ([]AblationRow, error) {
+func (s *Session) AblationFSSDepth(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "msn"} {
 		for _, n := range []int{1, 2, 4} {
@@ -75,13 +77,13 @@ func AblationFSSDepth(sc Scale) ([]AblationRow, error) {
 			})
 		}
 	}
-	return runAblation("Ablation FSSEntries", jobs)
+	return s.runAblation(ctx, "Ablation FSSEntries", jobs)
 }
 
 // AblationStoreBuffer sweeps store-buffer capacity: small buffers throttle
 // both fence flavors; larger buffers widen the traditional fence's drain
 // window and hence S-Fence's advantage.
-func AblationStoreBuffer(sc Scale) ([]AblationRow, error) {
+func (s *Session) AblationStoreBuffer(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "barnes"} {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
@@ -95,14 +97,14 @@ func AblationStoreBuffer(sc Scale) ([]AblationRow, error) {
 			}
 		}
 	}
-	return runAblation("Ablation SBSize", jobs)
+	return s.runAblation(ctx, "Ablation SBSize", jobs)
 }
 
 // AblationFIFOStoreBuffer compares the RMO (non-FIFO) store buffer with a
 // TSO-like FIFO drain: under FIFO, stores cannot overtake each other, so
 // the scoped fence's ability to skip out-of-scope stores matters less for
 // store-store ordering but still pays off at store-load fences.
-func AblationFIFOStoreBuffer(sc Scale) ([]AblationRow, error) {
+func (s *Session) AblationFIFOStoreBuffer(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "barnes"} {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
@@ -116,14 +118,14 @@ func AblationFIFOStoreBuffer(sc Scale) ([]AblationRow, error) {
 			}
 		}
 	}
-	return runAblation("Ablation FIFO", jobs)
+	return s.runAblation(ctx, "Ablation FIFO", jobs)
 }
 
 // AblationFinerFences measures the Section VII combination: the wsq put()
 // fence only needs store-store ordering (Fig. 2's "storestore" comment),
 // so replacing it with a scoped store-store fence removes its issue stall
 // entirely. Value 0 = full fences, 1 = SS put fence.
-func AblationFinerFences(sc Scale) ([]AblationRow, error) {
+func (s *Session) AblationFinerFences(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "pst"} {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
@@ -137,14 +139,14 @@ func AblationFinerFences(sc Scale) ([]AblationRow, error) {
 			}
 		}
 	}
-	return runAblation("Ablation SSPutFence", jobs)
+	return s.runAblation(ctx, "Ablation SSPutFence", jobs)
 }
 
 // AblationRecovery compares the exact snapshot FSS recovery with the
 // paper's shadow-FSS mechanism (with its conservative post-recovery
 // guard); the shadow variant may demote some fences to full fences after
 // mispredictions.
-func AblationRecovery(sc Scale) ([]AblationRow, error) {
+func (s *Session) AblationRecovery(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	var jobs []ablationJob
 	for _, bench := range []string{"wsq", "pst"} {
 		for i := 0; i < 2; i++ {
@@ -154,7 +156,7 @@ func AblationRecovery(sc Scale) ([]AblationRow, error) {
 			})
 		}
 	}
-	return runAblation("Ablation Recovery", jobs)
+	return s.runAblation(ctx, "Ablation Recovery", jobs)
 }
 
 func recCfg(r int) machine.Config {

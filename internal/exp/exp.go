@@ -1,13 +1,19 @@
-// Package exp defines the paper's experiments: one regeneration function
+// Package exp defines the paper's experiments: one regeneration method
 // per table and figure of the evaluation section (Section VI), plus the
-// ablations called out in DESIGN.md. Each function returns structured
+// ablations called out in DESIGN.md. Each method returns structured
 // results and has an accompanying renderer producing the ASCII equivalent
 // of the paper's chart.
+//
+// All experiment state is per-Session: a Session owns its runner, its
+// progress sink, and its worker-pool width, so two sessions can run
+// independent, cancellable evaluations in one process without sharing
+// anything. The package has no mutable package-level state.
 package exp
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"runtime"
 
 	"sfence/internal/cpu"
 	"sfence/internal/kernels"
@@ -58,65 +64,58 @@ func threadsFor(bench string) int {
 func baseConfig() machine.Config { return machine.DefaultConfig() }
 
 // Runner executes one benchmark configuration. The default runner builds
-// the kernel and simulates it directly; results.RunCache installs a
-// memoizing runner through SetRunner so identical (benchmark, options,
-// machine) triples are simulated once across experiments.
-type Runner func(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error)
+// the kernel and simulates it directly; results.RunCache provides a
+// memoizing runner so identical (benchmark, options, machine) triples are
+// simulated once across a session's experiments.
+type Runner func(ctx context.Context, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error)
 
 // ProgressFunc receives per-experiment completion updates: done out of
 // total simulations have finished for the named experiment.
 type ProgressFunc func(experiment string, done, total int)
 
-var (
-	hookMu     sync.RWMutex
-	runnerHook Runner
-	progressFn ProgressFunc
-)
-
-// SetRunner routes every simulation in this package through r and returns
-// the previously installed runner. A nil r restores the direct runner.
-func SetRunner(r Runner) Runner {
-	hookMu.Lock()
-	defer hookMu.Unlock()
-	prev := runnerHook
-	runnerHook = r
-	return prev
+// Session owns everything one experiment run needs: the runner that
+// executes (or memoizes) simulations, the progress sink, and the width of
+// the worker pool. Sessions are immutable after construction and safe for
+// concurrent use; independent sessions never share state, so two of them
+// can run full evaluations in parallel in one process.
+type Session struct {
+	runner      Runner // nil = DirectRun
+	progress    ProgressFunc
+	parallelism int
 }
 
-// SetProgress installs a progress callback (invoked concurrently from the
-// worker pool) and returns the previous one. A nil p disables reporting.
-func SetProgress(p ProgressFunc) ProgressFunc {
-	hookMu.Lock()
-	defer hookMu.Unlock()
-	prev := progressFn
-	progressFn = p
-	return prev
+// NewSession builds a session. A nil runner simulates directly, a nil
+// progress disables reporting, and a non-positive parallelism defaults to
+// runtime.GOMAXPROCS(0). Each run is an independent deterministic machine,
+// so the pool width cannot change any result — only wall-clock time.
+func NewSession(runner Runner, progress ProgressFunc, parallelism int) *Session {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Session{runner: runner, progress: progress, parallelism: parallelism}
 }
 
 // DirectRun builds and simulates one benchmark configuration, bypassing
-// any installed runner. This is what runOne does when no runner is set,
-// and what a memoizing runner calls on a cache miss.
-func DirectRun(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+// any session runner. This is what runOne does when the session has no
+// runner, and what a memoizing runner calls on a cache miss.
+func DirectRun(ctx context.Context, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	k, err := kernels.Build(bench, opts)
 	if err != nil {
 		return kernels.Result{}, err
 	}
-	return kernels.Run(k, cfg)
+	return kernels.Run(ctx, k, cfg)
 }
 
 // runOne runs a benchmark under the given mode/config, after normalizing
 // the thread count so equivalent runs present identical cache keys.
-func runOne(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+func (s *Session) runOne(ctx context.Context, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	if opts.Threads == 0 {
 		opts.Threads = threadsFor(bench)
 	}
-	hookMu.RLock()
-	r := runnerHook
-	hookMu.RUnlock()
-	if r != nil {
-		return r(bench, opts, cfg)
+	if s.runner != nil {
+		return s.runner(ctx, bench, opts, cfg)
 	}
-	return DirectRun(bench, opts, cfg)
+	return DirectRun(ctx, bench, opts, cfg)
 }
 
 // Bar is one stacked bar of a normalized-execution-time chart: the fence

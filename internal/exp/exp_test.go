@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,8 +9,11 @@ import (
 	"sfence/internal/machine"
 )
 
+// testSession returns a fresh direct (uncached) session.
+func testSession() *Session { return NewSession(nil, nil, 0) }
+
 func TestFigure12ShapeHolds(t *testing.T) {
-	series, err := Figure12(Quick)
+	series, err := testSession().Figure12(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +41,7 @@ func TestFigure12ShapeHolds(t *testing.T) {
 }
 
 func TestFigure13ShapeHolds(t *testing.T) {
-	groups, err := Figure13(Quick)
+	groups, err := testSession().Figure13(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +84,7 @@ func TestFigure13ShapeHolds(t *testing.T) {
 }
 
 func TestFigure14SetSlightlyBetter(t *testing.T) {
-	groups, err := Figure14(Quick)
+	groups, err := testSession().Figure14(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +102,7 @@ func TestFigure14SetSlightlyBetter(t *testing.T) {
 }
 
 func TestFigure15LatencyTrend(t *testing.T) {
-	groups, err := Figure15(Quick)
+	groups, err := testSession().Figure15(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +127,7 @@ func TestFigure15LatencyTrend(t *testing.T) {
 }
 
 func TestFigure16ROBTrend(t *testing.T) {
-	groups, err := Figure16(Quick)
+	groups, err := testSession().Figure16(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +190,7 @@ func TestTableIVComplete(t *testing.T) {
 // The Section VII combination of scoping with finer fences: a store-store
 // put fence must strictly reduce wsq's fence stalls on top of scoping.
 func TestFinerFencesReduceWSQStalls(t *testing.T) {
-	rows, err := AblationFinerFences(Quick)
+	rows, err := testSession().AblationFinerFences(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,15 +212,15 @@ func TestAblationsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations are slow")
 	}
-	for name, fn := range map[string]func(Scale) ([]AblationRow, error){
-		"fsb":      AblationFSBEntries,
-		"fss":      AblationFSSDepth,
-		"sb":       AblationStoreBuffer,
-		"fifo":     AblationFIFOStoreBuffer,
-		"finer":    AblationFinerFences,
-		"recovery": AblationRecovery,
+	for name, fn := range map[string]func(*Session, context.Context, Scale) ([]AblationRow, error){
+		"fsb":      (*Session).AblationFSBEntries,
+		"fss":      (*Session).AblationFSSDepth,
+		"sb":       (*Session).AblationStoreBuffer,
+		"fifo":     (*Session).AblationFIFOStoreBuffer,
+		"finer":    (*Session).AblationFinerFences,
+		"recovery": (*Session).AblationRecovery,
 	} {
-		rows, err := fn(Quick)
+		rows, err := fn(testSession(), context.Background(), Quick)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

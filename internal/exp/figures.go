@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"sync/atomic"
 
@@ -16,12 +17,12 @@ type figRun struct {
 	res   kernels.Result
 }
 
-// execute fills in the res fields of all runs on the worker pool,
-// reporting per-experiment progress as simulations complete.
-func execute(experiment string, runs []*figRun) error {
-	hookMu.RLock()
-	progress := progressFn
-	hookMu.RUnlock()
+// execute fills in the res fields of all runs on the session's worker
+// pool, reporting per-experiment progress as simulations complete. A
+// cancelled context stops dispatching and surfaces ctx.Err() from the
+// in-flight simulations.
+func (s *Session) execute(ctx context.Context, experiment string, runs []*figRun) error {
+	progress := s.progress
 	var done atomic.Int64
 	if progress != nil {
 		progress(experiment, 0, len(runs))
@@ -30,7 +31,7 @@ func execute(experiment string, runs []*figRun) error {
 	for i, r := range runs {
 		r := r
 		jobs[i] = func() error {
-			res, err := runOne(r.bench, r.opts, r.cfg)
+			res, err := s.runOne(ctx, r.bench, r.opts, r.cfg)
 			if err != nil {
 				return err
 			}
@@ -41,14 +42,14 @@ func execute(experiment string, runs []*figRun) error {
 			return nil
 		}
 	}
-	return runParallel(jobs)
+	return runParallel(ctx, s.parallelism, jobs)
 }
 
 // Figure12 reproduces "Impact of workload": the speedup of S-Fence over
 // traditional fences for the four lock-free algorithms across six workload
 // levels. The paper reports hump-shaped curves with peaks between 1.13x
 // and 1.34x, dekker peaking earliest.
-func Figure12(sc Scale) ([]SpeedupSeries, error) {
+func (s *Session) Figure12(ctx context.Context, sc Scale) ([]SpeedupSeries, error) {
 	benches := []string{"dekker", "wsq", "msn", "harris"}
 	levels := []int{1, 2, 3, 4, 5, 6}
 	modes := []kernels.FenceMode{kernels.Traditional, kernels.Scoped}
@@ -66,16 +67,16 @@ func Figure12(sc Scale) ([]SpeedupSeries, error) {
 			}
 		}
 	}
-	if err := execute("Figure 12", runs); err != nil {
+	if err := s.execute(ctx, "Figure 12", runs); err != nil {
 		return nil, err
 	}
 	out := make([]SpeedupSeries, 0, len(benches))
 	for bi, bench := range benches {
 		series := SpeedupSeries{Bench: bench, Workload: levels}
 		for li := range levels {
-			t := grid[[3]int{bi, li, 0}].res.Cycles
-			s := grid[[3]int{bi, li, 1}].res.Cycles
-			series.Speedup = append(series.Speedup, float64(t)/float64(s))
+			trad := grid[[3]int{bi, li, 0}].res.Cycles
+			scoped := grid[[3]int{bi, li, 1}].res.Cycles
+			series.Speedup = append(series.Speedup, float64(trad)/float64(scoped))
 		}
 		out = append(out, series)
 	}
@@ -86,7 +87,7 @@ func Figure12(sc Scale) ([]SpeedupSeries, error) {
 // execution time of pst, ptc, barnes, and radiosity under T (traditional),
 // S (S-Fence), T+ and S+ (with in-window speculation), split into fence
 // stalls and the rest and normalized to T.
-func Figure13(sc Scale) ([]BenchGroup, error) {
+func (s *Session) Figure13(ctx context.Context, sc Scale) ([]BenchGroup, error) {
 	benches := []string{"pst", "ptc", "barnes", "radiosity"}
 	grid := map[[2]int]*figRun{}
 	var runs []*figRun
@@ -99,7 +100,7 @@ func Figure13(sc Scale) ([]BenchGroup, error) {
 			runs = append(runs, r)
 		}
 	}
-	if err := execute("Figure 13", runs); err != nil {
+	if err := s.execute(ctx, "Figure 13", runs); err != nil {
 		return nil, err
 	}
 	out := make([]BenchGroup, 0, len(benches))
@@ -116,7 +117,7 @@ func Figure13(sc Scale) ([]BenchGroup, error) {
 
 // Figure14 reproduces "Class scope vs. Set scope" for msn, harris, pst,
 // and ptc: both scoped variants, normalized to class scope.
-func Figure14(sc Scale) ([]BenchGroup, error) {
+func (s *Session) Figure14(ctx context.Context, sc Scale) ([]BenchGroup, error) {
 	benches := []string{"msn", "harris", "pst", "ptc"}
 	variants := []struct {
 		Label string
@@ -136,7 +137,7 @@ func Figure14(sc Scale) ([]BenchGroup, error) {
 			runs = append(runs, r)
 		}
 	}
-	if err := execute("Figure 14", runs); err != nil {
+	if err := s.execute(ctx, "Figure 14", runs); err != nil {
 		return nil, err
 	}
 	out := make([]BenchGroup, 0, len(benches))
@@ -153,7 +154,7 @@ func Figure14(sc Scale) ([]BenchGroup, error) {
 
 // sweepFigure runs a T/S pair per parameter value per benchmark, with bars
 // normalized to the baseline value's traditional run.
-func sweepFigure(name string, sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
+func (s *Session) sweepFigure(ctx context.Context, name string, sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
 	benches := []string{"pst", "ptc", "barnes", "radiosity"}
 	modes := []struct {
 		suffix string
@@ -173,7 +174,7 @@ func sweepFigure(name string, sc Scale, values []int, baseline int, label func(i
 			}
 		}
 	}
-	if err := execute(name, runs); err != nil {
+	if err := s.execute(ctx, name, runs); err != nil {
 		return nil, err
 	}
 	baseIdx := 0
@@ -201,8 +202,8 @@ func sweepFigure(name string, sc Scale, values []int, baseline int, label func(i
 // 500-cycle memory latency, normalized per benchmark to the 300-cycle
 // traditional run (the Table III default, matching the paper's
 // normalization to the traditional-fence total).
-func Figure15(sc Scale) ([]BenchGroup, error) {
-	return sweepFigure("Figure 15", sc, []int{200, 300, 500}, 300, intLabel,
+func (s *Session) Figure15(ctx context.Context, sc Scale) ([]BenchGroup, error) {
+	return s.sweepFigure(ctx, "Figure 15", sc, []int{200, 300, 500}, 300, intLabel,
 		func(cfg machine.Config, lat int) machine.Config {
 			cfg.Mem.MemLatency = lat
 			return cfg
@@ -212,8 +213,8 @@ func Figure15(sc Scale) ([]BenchGroup, error) {
 // Figure16 reproduces "Varying ROB size": 64-, 128-, and 256-entry reorder
 // buffers under traditional and scoped fences, normalized per benchmark to
 // the 128-entry traditional run.
-func Figure16(sc Scale) ([]BenchGroup, error) {
-	return sweepFigure("Figure 16", sc, []int{64, 128, 256}, 128, intLabel,
+func (s *Session) Figure16(ctx context.Context, sc Scale) ([]BenchGroup, error) {
+	return s.sweepFigure(ctx, "Figure 16", sc, []int{64, 128, 256}, 128, intLabel,
 		func(cfg machine.Config, size int) machine.Config {
 			cfg.Core.ROBSize = size
 			return cfg

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"sfence/internal/kernels"
@@ -10,9 +11,9 @@ import (
 // nested-scope microbenchmark (the hidden "nested-scope" kernel),
 // exposing the FSB entry-sharing and FSS overflow fallbacks that the
 // Table IV benchmarks (nesting depth 1) never trigger. Like every other
-// experiment, the runs go through the worker pool, the runner hook, and
-// hence the run cache.
-func AblationNestedScopes(sc Scale) ([]AblationRow, error) {
+// experiment, the runs go through the session's worker pool and runner,
+// and hence its run cache.
+func (s *Session) AblationNestedScopes(ctx context.Context, sc Scale) ([]AblationRow, error) {
 	iters := 60
 	if sc == Quick {
 		iters = 25
@@ -32,5 +33,5 @@ func AblationNestedScopes(sc Scale) ([]AblationRow, error) {
 			})
 		}
 	}
-	return runAblation("Ablation NestedScopes", jobs)
+	return s.runAblation(ctx, "Ablation NestedScopes", jobs)
 }

@@ -1,9 +1,12 @@
 package exp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestNestedScopePressure(t *testing.T) {
-	rows, err := AblationNestedScopes(Quick)
+	rows, err := testSession().AblationNestedScopes(context.Background(), Quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,19 +1,16 @@
 package exp
 
 import (
-	"runtime"
+	"context"
 	"sync"
 )
 
-// Parallelism bounds concurrent simulation runs inside one experiment.
-// Each run is an independent deterministic machine, so parallel execution
-// cannot change any result — only wall-clock time.
-var Parallelism = runtime.GOMAXPROCS(0)
-
-// runParallel executes the jobs on at most Parallelism workers and returns
-// the first error (all jobs are always waited for).
-func runParallel(jobs []func() error) error {
-	limit := Parallelism
+// runParallel executes the jobs on at most limit workers and returns the
+// first error (all started jobs are always waited for). A cancelled
+// context stops further jobs from being dispatched; jobs already running
+// observe the cancellation through their own ctx plumbing and surface
+// ctx.Err() as their error.
+func runParallel(ctx context.Context, limit int, jobs []func() error) error {
 	if limit < 1 {
 		limit = 1
 	}
@@ -27,6 +24,14 @@ func runParallel(jobs []func() error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
 			if err := job(); err != nil {
 				mu.Lock()
 				if firstErr == nil {

@@ -8,6 +8,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -197,13 +198,15 @@ func (r Result) FenceStallFraction() float64 {
 }
 
 // Run executes the kernel on the given machine configuration, verifies the
-// result, and returns the measurements.
-func Run(k *Kernel, cfg machine.Config) (Result, error) {
-	return RunTraced(k, cfg, nil)
+// result, and returns the measurements. The context cancels or time-boxes
+// the simulation mid-cycle-loop (see machine.Machine.Run); a cancelled run
+// returns ctx.Err() and no Result.
+func Run(ctx context.Context, k *Kernel, cfg machine.Config) (Result, error) {
+	return RunTraced(ctx, k, cfg, nil)
 }
 
 // RunTraced is Run with an optional pipeline tracer attached to every core.
-func RunTraced(k *Kernel, cfg machine.Config, tracer cpu.Tracer) (Result, error) {
+func RunTraced(ctx context.Context, k *Kernel, cfg machine.Config, tracer cpu.Tracer) (Result, error) {
 	if len(k.Threads) > cfg.Cores {
 		return Result{}, fmt.Errorf("kernels: %s needs %d cores, machine has %d", k.Name, len(k.Threads), cfg.Cores)
 	}
@@ -222,7 +225,7 @@ func RunTraced(k *Kernel, cfg machine.Config, tracer cpu.Tracer) (Result, error)
 	if k.InitImage != nil {
 		k.InitImage(m.Image())
 	}
-	cycles, err := m.Run()
+	cycles, err := m.Run(ctx)
 	if err != nil {
 		return Result{}, fmt.Errorf("kernels: %s: %w", k.Name, err)
 	}

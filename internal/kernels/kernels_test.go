@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func runBench(t *testing.T, bench string, opts Options, cfg machine.Config) Resu
 	if err != nil {
 		t.Fatalf("%s build: %v", bench, err)
 	}
-	res, err := Run(k, cfg)
+	res, err := Run(context.Background(), k, cfg)
 	if err != nil {
 		t.Fatalf("%s run: %v", bench, err)
 	}
@@ -216,7 +217,7 @@ func TestOptionValidation(t *testing.T) {
 	}
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 4
-	if _, err := Run(k, cfg); err == nil || !strings.Contains(err.Error(), "cores") {
+	if _, err := Run(context.Background(), k, cfg); err == nil || !strings.Contains(err.Error(), "cores") {
 		t.Errorf("thread/core mismatch not rejected: %v", err)
 	}
 }

@@ -6,6 +6,7 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 
 	"sfence/internal/isa"
@@ -48,7 +49,7 @@ func (t *Test) Run(cfg machine.Config) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		return Outcome{}, err
 	}
 	var o Outcome

@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"context"
 	"testing"
 
 	"sfence/internal/isa"
@@ -190,7 +191,7 @@ func TestCASIncrementExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.Run(); err != nil {
+		if _, err := m.Run(context.Background()); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 		if got := m.Image().Load(AddrX); got != 100 {
@@ -208,7 +209,7 @@ func TestCoWWPerLocationOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.Image().Load(AddrX); got != 2 {

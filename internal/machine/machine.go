@@ -5,6 +5,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"sfence/internal/cpu"
@@ -209,8 +210,20 @@ func (m *Machine) traced() bool {
 	return false
 }
 
-// Run executes until every core is done, a core faults, or the cycle
-// budget is exhausted. It returns the total cycle count.
+// ctxCheckInterval bounds how many cycle-loop iterations Run executes
+// between context checks. A channel poll per cycle would slow the hot
+// loop measurably; a poll every few thousand iterations keeps the
+// overhead unmeasurable while still reacting to cancellation within
+// microseconds of wall-clock time.
+const ctxCheckInterval = 4096
+
+// Run executes until every core is done, a core faults, the context is
+// cancelled, or the cycle budget is exhausted. It returns the total cycle
+// count. A cancelled or expired context makes Run return promptly with
+// ctx.Err() (checked every ctxCheckInterval loop iterations, so a
+// simulation can be time-boxed with context.WithTimeout or aborted with
+// context.WithCancel mid-cycle-loop); the machine is left at the cycle it
+// reached and is safe to inspect, but not to resume.
 //
 // Run is a two-speed, event-driven loop: while any core is active the
 // machine ticks cycle by cycle, but when every core is quiescent —
@@ -221,10 +234,16 @@ func (m *Machine) traced() bool {
 // and statistics are bit-identical to naive stepping (asserted by
 // TestClockEquivalence). Attaching a tracer pins the slow path, because
 // tracers observe per-cycle events.
-func (m *Machine) Run() (int64, error) {
+func (m *Machine) Run(ctx context.Context) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	limit := m.cfg.MaxCycles
 	if limit <= 0 {
 		limit = DefaultMaxCycles
+	}
+	if err := ctx.Err(); err != nil {
+		return m.cycle, err
 	}
 	if m.Done() {
 		return m.cycle, nil
@@ -235,7 +254,17 @@ func (m *Machine) Run() (int64, error) {
 	if err := m.Fault(); err != nil {
 		return m.cycle, err
 	}
+	done := ctx.Done()
+	untilCheck := ctxCheckInterval
 	for {
+		if untilCheck--; untilCheck <= 0 {
+			untilCheck = ctxCheckInterval
+			select {
+			case <-done:
+				return m.cycle, ctx.Err()
+			default:
+			}
+		}
 		if m.cycle >= limit {
 			return m.cycle, fmt.Errorf("machine: exceeded %d cycles (livelock or runaway program?)", limit)
 		}

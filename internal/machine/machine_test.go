@@ -1,8 +1,10 @@
 package machine
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"sfence/internal/cpu"
 	"sfence/internal/isa"
@@ -41,7 +43,7 @@ func TestTwoCoresRunIndependently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cycles, err := m.Run()
+	cycles, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestMachineDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cycles, err := m.Run()
+		cycles, err := m.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +132,7 @@ func TestRunawayDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "exceeded") {
+	if _, err := m.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "exceeded") {
 		t.Errorf("runaway not detected: %v", err)
 	}
 }
@@ -148,7 +150,7 @@ func TestFaultPropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(); err == nil {
+	if _, err := m.Run(context.Background()); err == nil {
 		t.Error("fault did not propagate from Run")
 	}
 }
@@ -164,7 +166,7 @@ func TestTotalStatsAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	tot := m.TotalStats()
@@ -177,5 +179,87 @@ func TestTotalStatsAggregates(t *testing.T) {
 	}
 	if tot.CommittedStores != 2 {
 		t.Errorf("stores = %d, want 2", tot.CommittedStores)
+	}
+}
+
+// spinMachine builds a single-core machine that loops essentially forever
+// (bounded only by MaxCycles), for cancellation tests.
+func spinMachine(t *testing.T, maxCycles int64) *Machine {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Entry("spin")
+	b.Label("l")
+	b.Jmp("l")
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.MaxCycles = maxCycles
+	m, err := New(cfg, p, []Thread{{Entry: "spin"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunCancelledMidRun(t *testing.T) {
+	m := spinMachine(t, 0) // DefaultMaxCycles: far longer than the test budget
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	cycles, err := m.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+	if cycles <= 0 || cycles != m.Cycle() {
+		t.Errorf("cancelled Run reported %d cycles, machine at %d", cycles, m.Cycle())
+	}
+}
+
+func TestRunDeadlineTimeBoxes(t *testing.T) {
+	m := spinMachine(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := m.Run(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Run returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline took %v to take effect", elapsed)
+	}
+}
+
+func TestRunPreCancelledDoesNotStep(t *testing.T) {
+	m := spinMachine(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cycles, err := m.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if cycles != 0 {
+		t.Errorf("pre-cancelled Run stepped %d cycles", cycles)
+	}
+}
+
+// A nil context must behave like context.Background(): never cancel.
+func TestRunNilContext(t *testing.T) {
+	p := twoThreadSum()
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	m, err := New(cfg, p, []Thread{
+		{Entry: "t0", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 3, isa.R3: 4096}},
+		{Entry: "t1", Regs: map[isa.Reg]int64{isa.R1: 1, isa.R2: 3, isa.R3: 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil); err != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatalf("nil-context run failed: %v", err)
 	}
 }

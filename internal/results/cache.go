@@ -1,9 +1,11 @@
 package results
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -126,43 +128,61 @@ func (c *RunCache) path(key string) string {
 }
 
 // Run returns the memoized result for the triple, simulating on a miss.
-// It is safe for concurrent use and coalesces duplicate in-flight keys.
-func (c *RunCache) Run(bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+// It is an exp.Runner: a Lab session with a cache installs this method as
+// its runner. Run is safe for concurrent use and coalesces duplicate
+// in-flight keys: one caller simulates, the rest wait and count as memory
+// hits. Cancellation stays per-caller — a waiter whose own context is
+// cancelled stops waiting with its ctx.Err(), and if the simulating
+// caller was cancelled the surviving waiters retry the simulation under
+// their own contexts instead of inheriting the foreign cancellation
+// (essential when two independent Labs share one cache).
+func (c *RunCache) Run(ctx context.Context, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	key := Key(bench, opts, cfg)
 
-	c.mu.Lock()
-	if res, ok := c.mem[key]; ok {
-		c.mu.Unlock()
-		c.memHits.Add(1)
-		return res, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-f.done
-		if f.err == nil {
+	for {
+		c.mu.Lock()
+		if res, ok := c.mem[key]; ok {
+			c.mu.Unlock()
 			c.memHits.Add(1)
+			return res, nil
 		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return kernels.Result{}, ctx.Err()
+			}
+			if f.err == nil {
+				c.memHits.Add(1)
+				return f.res, nil
+			}
+			if ctx.Err() == nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				// The filler's context died, not ours: retry the lookup.
+				continue
+			}
+			return f.res, f.err
+		}
+		f := &inflightRun{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		f.res, f.err = c.fill(ctx, key, bench, opts, cfg)
+
+		c.mu.Lock()
+		if f.err == nil {
+			c.mem[key] = f.res
+		}
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
 		return f.res, f.err
 	}
-	f := &inflightRun{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
-
-	f.res, f.err = c.fill(key, bench, opts, cfg)
-
-	c.mu.Lock()
-	if f.err == nil {
-		c.mem[key] = f.res
-	}
-	delete(c.inflight, key)
-	c.mu.Unlock()
-	close(f.done)
-	return f.res, f.err
 }
 
 // fill resolves a memory miss: disk first, then a real simulation (whose
 // result is written back to disk).
-func (c *RunCache) fill(key, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+func (c *RunCache) fill(ctx context.Context, key, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	if c.dir != "" {
 		if res, ok := c.loadDisk(key, bench); ok {
 			c.diskHits.Add(1)
@@ -170,7 +190,7 @@ func (c *RunCache) fill(key, bench string, opts kernels.Options, cfg machine.Con
 		}
 	}
 	c.misses.Add(1)
-	res, err := exp.DirectRun(bench, opts, cfg)
+	res, err := exp.DirectRun(ctx, bench, opts, cfg)
 	if err != nil {
 		return kernels.Result{}, err
 	}
@@ -231,14 +251,4 @@ func (c *RunCache) storeDisk(key, bench string, opts kernels.Options, cfg machin
 		return fmt.Errorf("results: cache write: %w", err)
 	}
 	return nil
-}
-
-// Install routes every internal/exp simulation through the cache and
-// returns a function restoring the previous runner. Typical use:
-//
-//	cache, _ := results.NewRunCache(".sfence-cache")
-//	defer cache.Install()()
-func (c *RunCache) Install() (restore func()) {
-	prev := exp.SetRunner(c.Run)
-	return func() { exp.SetRunner(prev) }
 }

@@ -2,6 +2,7 @@ package results
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -70,7 +71,7 @@ func TestUnmarshalRejectsForeignSchema(t *testing.T) {
 func TestRunRecordRoundTrip(t *testing.T) {
 	opts := kernels.Options{Mode: kernels.Scoped, Threads: 2, Ops: 5, Workload: 1}
 	cfg := machine.DefaultConfig()
-	res, err := exp.DirectRun("dekker", opts, cfg)
+	res, err := exp.DirectRun(context.Background(), "dekker", opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +121,11 @@ func TestMemCacheHit(t *testing.T) {
 	c := NewMemCache()
 	opts := kernels.Options{Mode: kernels.Traditional, Threads: 2, Ops: 5, Workload: 1}
 	cfg := machine.DefaultConfig()
-	first, err := c.Run("dekker", opts, cfg)
+	first, err := c.Run(context.Background(), "dekker", opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := c.Run("dekker", opts, cfg)
+	second, err := c.Run(context.Background(), "dekker", opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestDiskCacheWarmRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res1, err := cold.Run("dekker", opts, cfg)
+	res1, err := cold.Run(context.Background(), "dekker", opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestDiskCacheWarmRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := warm.Run("dekker", opts, cfg)
+	res2, err := warm.Run(context.Background(), "dekker", opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestDiskCacheWarmRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res3, err := repaired.Run("dekker", opts, cfg)
+	res3, err := repaired.Run(context.Background(), "dekker", opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestCacheCoalescesConcurrentRequests(t *testing.T) {
 	errCh := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func() {
-			res, err := c.Run("dekker", opts, cfg)
+			res, err := c.Run(context.Background(), "dekker", opts, cfg)
 			resCh <- res
 			errCh <- err
 		}()
@@ -243,11 +244,13 @@ func TestCacheCoalescesConcurrentRequests(t *testing.T) {
 	}
 }
 
-func TestCacheRunnerInstall(t *testing.T) {
+// A session with the cache's Run installed as its runner must memoize
+// every simulation of an experiment (what RunCache.Install did before
+// sessions owned their runner).
+func TestCacheAsSessionRunner(t *testing.T) {
 	c := NewMemCache()
-	restore := c.Install()
-	defer restore()
-	series, err := exp.Figure12(exp.Quick)
+	s := exp.NewSession(c.Run, nil, 0)
+	series, err := s.Figure12(context.Background(), exp.Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,10 +259,10 @@ func TestCacheRunnerInstall(t *testing.T) {
 	}
 	st := c.Stats()
 	if st.Misses == 0 {
-		t.Error("installed cache saw no simulations")
+		t.Error("session cache saw no simulations")
 	}
 	// Re-running the same figure must be fully served from memory.
-	if _, err := exp.Figure12(exp.Quick); err != nil {
+	if _, err := s.Figure12(context.Background(), exp.Quick); err != nil {
 		t.Fatal(err)
 	}
 	st2 := c.Stats()
@@ -281,7 +284,7 @@ func TestSuiteWarmCacheDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		suite, err := RunSuite(SuiteOptions{Scale: exp.Quick, Cache: cache})
+		suite, err := RunSuite(context.Background(), SuiteOptions{Scale: exp.Quick, Cache: cache})
 		if err != nil {
 			t.Fatal(err)
 		}

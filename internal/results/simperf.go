@@ -1,6 +1,7 @@
 package results
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -97,9 +98,14 @@ func buildMachine(bench string, opts kernels.Options) (*kernels.Kernel, *machine
 
 // runNaive drives the machine with the pre-event-driven loop: one Step per
 // cycle with the Done/Fault scans Run used to perform.
-func runNaive(m *machine.Machine) (int64, error) {
+func runNaive(ctx context.Context, m *machine.Machine) (int64, error) {
 	limit := int64(machine.DefaultMaxCycles)
 	for !m.Done() {
+		if m.Cycle()%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return m.Cycle(), err
+			}
+		}
 		if err := m.Fault(); err != nil {
 			return m.Cycle(), err
 		}
@@ -113,8 +119,9 @@ func runNaive(m *machine.Machine) (int64, error) {
 
 // RunSimPerf measures every tracked workload under both clocks and
 // asserts the runs are bit-identical (cycle count and aggregate core
-// statistics) before recording the timings.
-func RunSimPerf(sc exp.Scale) (SimPerfReport, error) {
+// statistics) before recording the timings. The context cancels the
+// event-driven runs; the naive loop polls it between steps.
+func RunSimPerf(ctx context.Context, sc exp.Scale) (SimPerfReport, error) {
 	rep := SimPerfReport{GoVersion: runtime.Version()}
 	for _, tc := range simPerfCases(sc) {
 		kN, mN, err := buildMachine(tc.bench, tc.opts)
@@ -127,13 +134,13 @@ func RunSimPerf(sc exp.Scale) (SimPerfReport, error) {
 		}
 
 		t0 := time.Now()
-		naiveCycles, err := runNaive(mN)
+		naiveCycles, err := runNaive(ctx, mN)
 		naiveNs := time.Since(t0).Nanoseconds()
 		if err != nil {
 			return rep, fmt.Errorf("results: simperf %s (naive): %w", tc.bench, err)
 		}
 		t0 = time.Now()
-		eventCycles, err := mE.Run()
+		eventCycles, err := mE.Run(ctx)
 		eventNs := time.Since(t0).Nanoseconds()
 		if err != nil {
 			return rep, fmt.Errorf("results: simperf %s (event): %w", tc.bench, err)

@@ -1,12 +1,13 @@
 package results
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
-	"sfence/internal/cpu"
 	"sfence/internal/exp"
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
@@ -16,12 +17,16 @@ import (
 type SuiteOptions struct {
 	// Scale selects Quick or Full experiment sizing.
 	Scale exp.Scale
-	// Cache, when non-nil, memoizes every simulation (and is installed as
-	// the exp runner for the duration of the run).
+	// Cache, when non-nil, memoizes every simulation of the run.
 	Cache *RunCache
+	// Runner, when non-nil, overrides the cache (and the direct runner)
+	// as the session's simulation executor.
+	Runner exp.Runner
 	// Progress, when non-nil, receives per-experiment completion updates
 	// from the worker pool.
 	Progress exp.ProgressFunc
+	// Parallelism bounds the session's worker pool (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // Suite holds every structured result of the paper's evaluation section
@@ -51,92 +56,86 @@ type Suite struct {
 	CacheStats *CacheStats
 }
 
-// AblationSpec names one ablation sweep: its artifact identity and the
-// experiment function producing its rows.
+// AblationSpec names one ablation sweep: the identity shared by the
+// combined BENCH_ABLATIONS.json artifact and the "ablation/<name>"
+// experiment IDs in the registry.
 type AblationSpec struct {
 	Name  string
 	Title string
-	Fn    func(exp.Scale) ([]exp.AblationRow, error)
 }
 
 // AblationSpecs lists the ablation sweeps in presentation order. It is
-// the single registry shared by RunSuite, sfence-report, and
+// the single identity registry shared by RunSuite, sfence-report, and
 // sfence-bench, so every producer emits identical artifact identities.
 func AblationSpecs() []AblationSpec {
 	return []AblationSpec{
-		{"fsb-entries", "FSB entry count", exp.AblationFSBEntries},
-		{"fss-depth", "FSS depth", exp.AblationFSSDepth},
-		{"store-buffer", "Store buffer size", exp.AblationStoreBuffer},
-		{"fifo-store-buffer", "FIFO (TSO-like) vs non-FIFO (RMO) store buffer", exp.AblationFIFOStoreBuffer},
-		{"finer-fences", "Store-store put fence (Section VII combination); 0=full, 1=SS", exp.AblationFinerFences},
-		{"nested-scopes", "Nested-scope pressure (FSB sharing / FSS overflow)", exp.AblationNestedScopes},
-		{"fss-recovery", "FSS recovery: snapshot (0) vs paper shadow (1)", exp.AblationRecovery},
+		{"fsb-entries", "FSB entry count"},
+		{"fss-depth", "FSS depth"},
+		{"store-buffer", "Store buffer size"},
+		{"fifo-store-buffer", "FIFO (TSO-like) vs non-FIFO (RMO) store buffer"},
+		{"finer-fences", "Store-store put fence (Section VII combination); 0=full, 1=SS"},
+		{"nested-scopes", "Nested-scope pressure (FSB sharing / FSS overflow)"},
+		{"fss-recovery", "FSS recovery: snapshot (0) vs paper shadow (1)"},
 	}
 }
 
-// RunSuite executes every experiment at the given scale. Deltas of the
-// cache counters across the run are recorded in the returned suite.
-func RunSuite(opts SuiteOptions) (*Suite, error) {
+// ablationFns maps each ablation identity to the session method that
+// produces its rows (kept out of the public spec so AblationSpec stays a
+// pure identity record).
+var ablationFns = map[string]func(*exp.Session, context.Context, exp.Scale) ([]exp.AblationRow, error){
+	"fsb-entries":       (*exp.Session).AblationFSBEntries,
+	"fss-depth":         (*exp.Session).AblationFSSDepth,
+	"store-buffer":      (*exp.Session).AblationStoreBuffer,
+	"fifo-store-buffer": (*exp.Session).AblationFIFOStoreBuffer,
+	"finer-fences":      (*exp.Session).AblationFinerFences,
+	"nested-scopes":     (*exp.Session).AblationNestedScopes,
+	"fss-recovery":      (*exp.Session).AblationRecovery,
+}
+
+// RunSuite executes every suite experiment of the registry at the given
+// scale on a private session built from opts, so concurrent RunSuite
+// calls (two Labs in one process) share nothing unless they share a
+// cache. Cancelling ctx aborts the in-flight simulations and returns the
+// context error; no partial Suite is returned and hence no artifact can
+// be produced from a cancelled run. Deltas of the cache counters across
+// the run are recorded in the returned suite.
+func RunSuite(ctx context.Context, opts SuiteOptions) (*Suite, error) {
 	// Count requested simulations and distinct configurations on the way
 	// through, so the suite knows its own shape regardless of how many
 	// requests the cache absorbed.
 	var mu sync.Mutex
 	requests := 0
 	seen := map[string]struct{}{}
-	var base exp.Runner
-	counting := func(bench string, kopts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+	base := opts.Runner
+	if base == nil && opts.Cache != nil {
+		base = opts.Cache.Run
+	}
+	if base == nil {
+		base = exp.DirectRun
+	}
+	counting := func(ctx context.Context, bench string, kopts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 		mu.Lock()
 		requests++
 		seen[Key(bench, kopts, cfg)] = struct{}{}
 		mu.Unlock()
-		return base(bench, kopts, cfg)
+		return base(ctx, bench, kopts, cfg)
 	}
-	prevRunner := exp.SetRunner(counting)
-	defer exp.SetRunner(prevRunner)
 	var before CacheStats
-	switch {
-	case opts.Cache != nil:
+	if opts.Cache != nil {
 		before = opts.Cache.Stats()
-		base = opts.Cache.Run
-	case prevRunner != nil:
-		// Respect a runner the caller installed (e.g. cache.Install()).
-		base = prevRunner
-	default:
-		base = exp.DirectRun
 	}
-	if opts.Progress != nil {
-		prev := exp.SetProgress(opts.Progress)
-		defer exp.SetProgress(prev)
-	}
+	session := exp.NewSession(counting, opts.Progress, opts.Parallelism)
 
-	s := &Suite{
-		Scale:        opts.Scale,
-		HardwareCost: exp.HardwareCost(cpu.DefaultConfig()),
-		TableIII:     exp.TableIII(machine.DefaultConfig()),
-		TableIV:      TableIVInfos(),
-	}
-	var err error
-	if s.Figure12, err = exp.Figure12(opts.Scale); err != nil {
-		return nil, fmt.Errorf("results: figure 12: %w", err)
-	}
-	if s.Figure13, err = exp.Figure13(opts.Scale); err != nil {
-		return nil, fmt.Errorf("results: figure 13: %w", err)
-	}
-	if s.Figure14, err = exp.Figure14(opts.Scale); err != nil {
-		return nil, fmt.Errorf("results: figure 14: %w", err)
-	}
-	if s.Figure15, err = exp.Figure15(opts.Scale); err != nil {
-		return nil, fmt.Errorf("results: figure 15: %w", err)
-	}
-	if s.Figure16, err = exp.Figure16(opts.Scale); err != nil {
-		return nil, fmt.Errorf("results: figure 16: %w", err)
-	}
-	for _, spec := range AblationSpecs() {
-		rows, err := spec.Fn(opts.Scale)
-		if err != nil {
-			return nil, fmt.Errorf("results: ablation %s: %w", spec.Name, err)
+	s := &Suite{Scale: opts.Scale}
+	for _, spec := range Experiments() {
+		if !spec.InSuite() {
+			continue
 		}
-		s.Ablations = append(s.Ablations, AblationSet{Name: spec.Name, Title: spec.Title, Rows: rows})
+		data, err := spec.Run(ctx, session, opts.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("results: %s: %w", spec.ID, err)
+		}
+		spec.store(s, data)
 	}
 	s.SimRequests = requests
 	s.SimDistinct = len(seen)
@@ -160,40 +159,43 @@ type Artifact struct {
 }
 
 // Artifacts renders the suite's BENCH_*.json file set from the stored
-// results.
+// results by iterating the experiment registry; the individual ablation
+// sweeps fold into the combined BENCH_ABLATIONS.json at their registry
+// position.
 func (s *Suite) Artifacts() ([]Artifact, error) {
-	type gen struct {
-		name string
-		fn   func() ([]byte, error)
-	}
-	gens := []gen{
-		{"BENCH_FIG12.json", func() ([]byte, error) { return Figure12JSON(s.Figure12, s.Scale) }},
-		{"BENCH_FIG13.json", func() ([]byte, error) { return GroupsJSON(KindFigure13, s.Figure13, s.Scale) }},
-		{"BENCH_FIG14.json", func() ([]byte, error) { return GroupsJSON(KindFigure14, s.Figure14, s.Scale) }},
-		{"BENCH_FIG15.json", func() ([]byte, error) { return GroupsJSON(KindFigure15, s.Figure15, s.Scale) }},
-		{"BENCH_FIG16.json", func() ([]byte, error) { return GroupsJSON(KindFigure16, s.Figure16, s.Scale) }},
-		{"BENCH_ABLATIONS.json", func() ([]byte, error) { return AblationsJSON(s.Ablations, s.Scale) }},
-		{"BENCH_TABLE3.json", func() ([]byte, error) {
-			return Marshal(NewEnvelope(KindTableIII, kindTitles[KindTableIII], s.Scale, s.TableIII))
-		}},
-		{"BENCH_TABLE4.json", func() ([]byte, error) {
-			return Marshal(NewEnvelope(KindTableIV, kindTitles[KindTableIV], s.Scale, s.TableIV))
-		}},
-		{"BENCH_HWCOST.json", func() ([]byte, error) { return HardwareCostJSON(s.HardwareCost, s.Scale) }},
-	}
-	out := make([]Artifact, 0, len(gens))
-	for _, g := range gens {
-		data, err := g.fn()
-		if err != nil {
-			return nil, fmt.Errorf("results: %s: %w", g.name, err)
+	var out []Artifact
+	ablationsDone := false
+	for _, spec := range Experiments() {
+		if !spec.InSuite() {
+			continue
 		}
-		out = append(out, Artifact{Name: g.name, Data: data})
+		if strings.HasPrefix(spec.ID, "ablation/") {
+			if ablationsDone {
+				continue
+			}
+			ablationsDone = true
+			data, err := AblationsJSON(s.Ablations, s.Scale)
+			if err != nil {
+				return nil, fmt.Errorf("results: BENCH_ABLATIONS.json: %w", err)
+			}
+			out = append(out, Artifact{Name: "BENCH_ABLATIONS.json", Data: data})
+			continue
+		}
+		if spec.Artifact == "" {
+			continue
+		}
+		data, err := spec.JSON(spec.fromSuite(s), s.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("results: %s: %w", spec.Artifact, err)
+		}
+		out = append(out, Artifact{Name: spec.Artifact, Data: data})
 	}
 	return out, nil
 }
 
 // WriteArtifacts writes the BENCH_*.json set into dir and returns the
-// file paths written.
+// file paths written. Every artifact is rendered before the first byte is
+// written, so an encoding failure produces no partial file set.
 func (s *Suite) WriteArtifacts(dir string) ([]string, error) {
 	arts, err := s.Artifacts()
 	if err != nil {

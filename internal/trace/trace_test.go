@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func runTraced(t *testing.T, tr cpu.Tracer) {
 		t.Fatal(err)
 	}
 	Attach(m, tr)
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -101,7 +102,7 @@ func TestSquashEventsOnMisprediction(t *testing.T) {
 	}
 	tr := NewCountingTracer()
 	Attach(m, tr)
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Count(cpu.TraceSquash) == 0 {
@@ -121,7 +122,7 @@ func TestTracingIsTransparent(t *testing.T) {
 		if tr != nil {
 			Attach(m, tr)
 		}
-		cycles, err := m.Run()
+		cycles, err := m.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,14 +10,20 @@
 //   - build programs in the mini-ISA (Builder, Program, scoped fences,
 //     fs_start/fs_end class brackets, set-scope flagged accesses),
 //   - run them on a simulated chip multiprocessor (NewMachine), and
-//   - run the paper's benchmarks and experiments (RunBenchmark,
-//     Benchmarks, and the Figure/Table functions).
+//   - run the paper's benchmarks and experiments (RunBenchmark, and a
+//     Lab session driving the experiment registry: NewLab,
+//     Experiments, Lab.Run, Lab.RunSuite).
+//
+// Every simulation is cancellable: Machine.Run, RunBenchmarkContext,
+// Lab.Run, and RunSuite all take a context.Context that can cancel or
+// time-box the cycle loop.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
 package sfence
 
 import (
+	"context"
 	"io"
 
 	"sfence/internal/cpu"
@@ -184,19 +190,26 @@ func BuildBenchmark(name string, opts BenchmarkOptions) (*kernels.Kernel, error)
 	return kernels.Build(name, opts)
 }
 
-// RunBenchmark builds, runs, and verifies a named benchmark.
+// RunBenchmark builds, runs, and verifies a named benchmark. Use
+// RunBenchmarkContext to make the run cancellable.
 func RunBenchmark(name string, opts BenchmarkOptions, cfg Config) (BenchmarkResult, error) {
-	return RunBenchmarkTraced(name, opts, cfg, nil)
+	return RunBenchmarkContext(context.Background(), name, opts, cfg)
 }
 
-// RunBenchmarkTraced is RunBenchmark with a pipeline tracer attached to
-// every core (nil disables tracing).
-func RunBenchmarkTraced(name string, opts BenchmarkOptions, cfg Config, tracer Tracer) (BenchmarkResult, error) {
+// RunBenchmarkContext is RunBenchmark with a context that cancels or
+// time-boxes the simulation mid-cycle-loop (see Machine.Run).
+func RunBenchmarkContext(ctx context.Context, name string, opts BenchmarkOptions, cfg Config) (BenchmarkResult, error) {
+	return RunBenchmarkTraced(ctx, name, opts, cfg, nil)
+}
+
+// RunBenchmarkTraced is RunBenchmarkContext with a pipeline tracer
+// attached to every core (nil disables tracing).
+func RunBenchmarkTraced(ctx context.Context, name string, opts BenchmarkOptions, cfg Config, tracer Tracer) (BenchmarkResult, error) {
 	k, err := kernels.Build(name, opts)
 	if err != nil {
 		return BenchmarkResult{}, err
 	}
-	return kernels.RunTraced(k, cfg, tracer)
+	return kernels.RunTraced(ctx, k, cfg, tracer)
 }
 
 // Tracer receives per-cycle pipeline events (see NewTextTracer).
@@ -214,24 +227,14 @@ func NewTextTracer(w io.Writer, limitCycles int64) Tracer {
 // AttachTracer installs a tracer on every core of a machine.
 func AttachTracer(m *Machine, t Tracer) { trace.Attach(m, t) }
 
-// Experiment entry points: one per table/figure of the paper.
+// Configuration-derived tables and cost model (no simulation involved).
+// The simulated experiments live behind Lab.Run and the experiment
+// registry (see lab.go); deprecated.go keeps the old figure-named entry
+// points alive for one release.
 var (
-	Figure12     = exp.Figure12
-	Figure13     = exp.Figure13
-	Figure14     = exp.Figure14
-	Figure15     = exp.Figure15
-	Figure16     = exp.Figure16
 	HardwareCost = exp.HardwareCost
 	TableIII     = exp.TableIII
 	TableIV      = exp.TableIV
-
-	AblationFSBEntries      = exp.AblationFSBEntries
-	AblationFSSDepth        = exp.AblationFSSDepth
-	AblationStoreBuffer     = exp.AblationStoreBuffer
-	AblationFIFOStoreBuffer = exp.AblationFIFOStoreBuffer
-	AblationFinerFences     = exp.AblationFinerFences
-	AblationNestedScopes    = exp.AblationNestedScopes
-	AblationRecovery        = exp.AblationRecovery
 
 	RenderFigure12     = exp.RenderFigure12
 	RenderGroups       = exp.RenderGroups
@@ -267,8 +270,8 @@ type (
 	SimPerfReport = results.SimPerfReport
 	// SimPerfRow is one workload's clock comparison.
 	SimPerfRow = results.SimPerfRow
-	// ExperimentRunner executes one benchmark configuration for the
-	// experiment layer (see SetExperimentRunner).
+	// ExperimentRunner executes one benchmark configuration for a Lab
+	// session (see WithRunner; RunCache.Run is the memoizing runner).
 	ExperimentRunner = exp.Runner
 	// ExperimentProgress receives per-experiment completion updates.
 	ExperimentProgress = exp.ProgressFunc
@@ -285,8 +288,12 @@ func NewRunCache(dir string) (*RunCache, error) { return results.NewRunCache(dir
 // NewMemCache returns an in-process-only run cache.
 func NewMemCache() *RunCache { return results.NewMemCache() }
 
-// RunSuite executes the full evaluation suite.
-func RunSuite(opts SuiteOptions) (*Suite, error) { return results.RunSuite(opts) }
+// RunSuite executes the full evaluation suite. Most callers want
+// NewLab(...).RunSuite(ctx) instead; this re-export exists for callers
+// composing their own SuiteOptions.
+func RunSuite(ctx context.Context, opts SuiteOptions) (*Suite, error) {
+	return results.RunSuite(ctx, opts)
+}
 
 // PaperClaims returns the machine-checkable claim checklist that
 // EXPERIMENTS.md scores the measured results against.
@@ -300,18 +307,12 @@ func AblationSpecs() []AblationSpecEntry { return results.AblationSpecs() }
 // RunSimPerf measures the simulator itself: every tracked workload is run
 // under naive per-cycle stepping and under the event-driven clock,
 // asserted bit-identical, and timed (the BENCH_SIMPERF.json payload).
-func RunSimPerf(sc Scale) (SimPerfReport, error) { return results.RunSimPerf(sc) }
+func RunSimPerf(ctx context.Context, sc Scale) (SimPerfReport, error) {
+	return results.RunSimPerf(ctx, sc)
+}
 
-// Experiment-layer hooks and JSON artifact encoders.
+// JSON artifact encoders.
 var (
-	// SetExperimentRunner routes every experiment simulation through a
-	// custom runner (a RunCache's Install method uses this); it returns
-	// the previous runner.
-	SetExperimentRunner = exp.SetRunner
-	// SetExperimentProgress installs a per-experiment progress callback
-	// and returns the previous one.
-	SetExperimentProgress = exp.SetProgress
-
 	Figure12JSON     = results.Figure12JSON
 	GroupsJSON       = results.GroupsJSON
 	AblationsJSON    = results.AblationsJSON

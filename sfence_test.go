@@ -1,6 +1,7 @@
 package sfence_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cycles, err := m.Run()
+	cycles, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
