@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"reflect"
+	"strings"
 	"testing"
 
 	"sfence/internal/cpu"
@@ -21,6 +22,8 @@ import (
 	"sfence/internal/kernels"
 	"sfence/internal/litmus"
 	"sfence/internal/machine"
+	"sfence/internal/stats"
+	"sfence/internal/trace"
 )
 
 // naiveRun drives m exactly like the pre-event-driven Run loop: one Step
@@ -52,11 +55,42 @@ func imageHash(m *machine.Machine) uint64 {
 	return h.Sum64()
 }
 
+// snapshotSansClock strips the "machine.clock." subtree from a snapshot:
+// the clock accounting describes how the run was driven (slow ticks vs.
+// fast-forward jumps), so it legitimately differs between the two clocks
+// while every simulated stat must not.
+func snapshotSansClock(s stats.Snapshot) stats.Snapshot {
+	out := stats.Snapshot{Schema: s.Schema}
+	for _, smp := range s.Samples {
+		if strings.HasPrefix(smp.Name, "machine.clock.") {
+			continue
+		}
+		out.Samples = append(out.Samples, smp)
+	}
+	return out
+}
+
 // assertMachinesEqual compares every observable of the two finished runs.
 func assertMachinesEqual(t *testing.T, name string, naive, event *machine.Machine, nc, ec int64) {
 	t.Helper()
 	if nc != ec {
 		t.Fatalf("%s: cycle count diverged: naive %d, event-driven %d", name, nc, ec)
+	}
+	// Fast-forward exactness for EVERY registered stat, not just the
+	// headline counters: the full registry snapshots (per-core pipeline,
+	// S-Fence hardware, cache, and machine-total stats) must be
+	// bit-identical modulo the clock's own drive accounting.
+	sn := snapshotSansClock(naive.StatsSnapshot())
+	se := snapshotSansClock(event.StatsSnapshot())
+	if !sn.Equal(se) {
+		for i := range sn.Samples {
+			if i < len(se.Samples) && sn.Samples[i] != se.Samples[i] {
+				t.Errorf("%s: stat %s diverged: naive %+v, event %+v", name, sn.Samples[i].Name, sn.Samples[i], se.Samples[i])
+			}
+		}
+		if len(sn.Samples) != len(se.Samples) {
+			t.Errorf("%s: snapshot sizes diverged: naive %d, event %d", name, len(sn.Samples), len(se.Samples))
+		}
 	}
 	for i := 0; i < naive.Cores(); i++ {
 		cn, ce := naive.Core(i), event.Core(i)
@@ -215,6 +249,70 @@ func TestClockTracingPinsSlowPath(t *testing.T) {
 	}
 	if cs.SlowTicks != cycles {
 		t.Fatalf("traced run stepped %d cycles of %d", cs.SlowTicks, cycles)
+	}
+	// The clock must say WHY there were no jumps: fast-forward was
+	// disabled by the tracer, not never needed.
+	if !cs.TracerPinned {
+		t.Fatalf("traced run did not report TracerPinned: %+v", cs)
+	}
+	if got := m.StatsSnapshot().Value("machine.clock.tracer_pinned"); got != 1 {
+		t.Fatalf("machine.clock.tracer_pinned = %d, want 1", got)
+	}
+}
+
+// TestClockObserverStaysOnFastPath is the counter-only-observer contract:
+// a stats.Observer attached to every core must (1) not stop the clock
+// from fast-forwarding, (2) not perturb a single simulated stat relative
+// to an unobserved run, and (3) tally exactly the events per-cycle
+// stepping would have delivered — the fast-forward bulk credits included.
+func TestClockObserverStaysOnFastPath(t *testing.T) {
+	opts := kernels.Options{Mode: kernels.Traditional, Ops: 60, Workload: 2}
+	cfg := machine.DefaultConfig()
+
+	// Unobserved event-driven run: the reference.
+	_, mRef := buildKernelMachine(t, "fence-drain", opts, cfg)
+	refCycles, err := mRef.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observed event-driven run.
+	_, mObs := buildKernelMachine(t, "fence-drain", opts, cfg)
+	obsE := trace.NewCountingObserver()
+	trace.AttachObserver(mObs, obsE)
+	obsCycles, err := mObs.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observed naive run: the per-cycle ground truth for the tallies.
+	_, mNaive := buildKernelMachine(t, "fence-drain", opts, cfg)
+	obsN := trace.NewCountingObserver()
+	trace.AttachObserver(mNaive, obsN)
+	naiveRun(t, mNaive)
+
+	if refCycles != obsCycles {
+		t.Fatalf("observer changed the cycle count: %d vs %d", refCycles, obsCycles)
+	}
+	if cs := mObs.Clock(); cs.SkippedCycles == 0 || cs.Jumps == 0 {
+		t.Fatalf("observed run did not fast-forward: %+v", cs)
+	}
+	if cs := mObs.Clock(); cs.TracerPinned {
+		t.Fatalf("observer reported as a pinning tracer: %+v", cs)
+	}
+	// Observed vs. unobserved snapshots identical — full registry,
+	// including the clock subtree (both runs are event-driven).
+	if sr, so := mRef.StatsSnapshot(), mObs.StatsSnapshot(); !sr.Equal(so) {
+		t.Fatalf("observer perturbed the stats snapshot:\nref %+v\nobs %+v", sr, so)
+	}
+	// Event tallies identical across clocks: every per-cycle stall event
+	// the naive run delivered one by one must arrive via bulk credits.
+	ne, ee := obsN.Counts(), obsE.Counts()
+	if !reflect.DeepEqual(ne, ee) {
+		t.Fatalf("observer tallies diverged across clocks:\nnaive %v\nevent %v", ne, ee)
+	}
+	if ne[cpu.TraceFenceStall] == 0 {
+		t.Fatal("fence-drain produced no fence-stall events; the bulk-credit path went untested")
 	}
 }
 

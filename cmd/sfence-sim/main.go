@@ -7,6 +7,8 @@
 //	sfence-sim -bench pst -mode traditional -ops 400 -threads 8
 //	sfence-sim -bench barnes -mode scoped -spec -memlat 500
 //	sfence-sim -bench pst -timeout 2s   # time-box the simulation
+//	sfence-sim -bench wsq -stats        # full hierarchical stats snapshot
+//	sfence-sim -bench wsq -stats-json   # the same snapshot as JSON
 //	sfence-sim -list
 //
 // The run is cancellable: Ctrl-C (or the -timeout deadline) stops the
@@ -15,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,21 +28,23 @@ import (
 
 func main() {
 	var (
-		bench    = flag.String("bench", "wsq", "benchmark name (see -list)")
-		mode     = flag.String("mode", "scoped", "fence mode: traditional | scoped")
-		scope    = flag.String("scope", "", "override scope for scoped mode: class | set")
-		threads  = flag.Int("threads", 0, "thread count (0 = benchmark default)")
-		ops      = flag.Int("ops", 0, "operation count (0 = benchmark default)")
-		workload = flag.Int("workload", 0, "workload units between operations")
-		seed     = flag.Int64("seed", 1, "deterministic input seed")
-		spec     = flag.Bool("spec", false, "enable in-window speculation (T+/S+)")
-		memlat   = flag.Int("memlat", 0, "memory latency override in cycles")
-		robsize  = flag.Int("rob", 0, "ROB size override")
-		fifo     = flag.Bool("fifosb", false, "FIFO (TSO-like) store buffer")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		traceCyc = flag.Int64("trace", 0, "write a pipeline trace of the first N cycles to stderr")
-		profile  = flag.Bool("profile", false, "print the per-fence stall profile")
-		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
+		bench     = flag.String("bench", "wsq", "benchmark name (see -list)")
+		mode      = flag.String("mode", "scoped", "fence mode: traditional | scoped")
+		scope     = flag.String("scope", "", "override scope for scoped mode: class | set")
+		threads   = flag.Int("threads", 0, "thread count (0 = benchmark default)")
+		ops       = flag.Int("ops", 0, "operation count (0 = benchmark default)")
+		workload  = flag.Int("workload", 0, "workload units between operations")
+		seed      = flag.Int64("seed", 1, "deterministic input seed")
+		spec      = flag.Bool("spec", false, "enable in-window speculation (T+/S+)")
+		memlat    = flag.Int("memlat", 0, "memory latency override in cycles")
+		robsize   = flag.Int("rob", 0, "ROB size override")
+		fifo      = flag.Bool("fifosb", false, "FIFO (TSO-like) store buffer")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		traceCyc  = flag.Int64("trace", 0, "write a pipeline trace of the first N cycles to stderr")
+		profile   = flag.Bool("profile", false, "print the per-fence stall profile")
+		stats     = flag.Bool("stats", false, "print the full hierarchical stats snapshot (every registered counter)")
+		statsJSON = flag.Bool("stats-json", false, "emit the stats snapshot as JSON on stdout (implies quiet summary)")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -100,6 +105,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *statsJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("benchmark:          %s (%s fences)\n", *bench, *mode)
 	fmt.Printf("cycles:             %d\n", res.Cycles)
 	fmt.Printf("committed insts:    %d\n", res.Stats.Committed)
@@ -114,6 +128,17 @@ func main() {
 		fmt.Printf("  %-6s %-20s %10s %12s %12s\n", "pc", "fence", "execs", "stall-cyc", "idle-cyc")
 		for _, s := range res.Profile {
 			fmt.Printf("  %-6d %-20s %10d %12d %12d\n", s.PC, s.Scope, s.Executions, s.StallCycles, s.IdleCycles)
+		}
+	}
+	if *stats {
+		fmt.Println("\nStats snapshot (every registered stat, schema", res.Snapshot.Schema, "):")
+		for _, s := range res.Snapshot.Samples {
+			switch s.Kind {
+			case "formula":
+				fmt.Printf("  %-42s %14.4f  %s\n", s.Name, s.Float, s.Desc)
+			default:
+				fmt.Printf("  %-42s %14d  %s\n", s.Name, s.Value, s.Desc)
+			}
 		}
 	}
 }

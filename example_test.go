@@ -108,3 +108,61 @@ func ExampleNewLab() {
 	// curves: 4
 	// every benchmark peaks above 1.0x: true
 }
+
+// ExampleLab_stats drills into the full hierarchical stats snapshot of a
+// benchmark run — every per-core pipeline, S-Fence hardware, and cache
+// counter plus machine totals, under stable dotted names. The same
+// snapshot set for every Table IV benchmark is available as the "stats"
+// experiment (lab.Run(ctx, "stats")); here a single run's snapshot is
+// read through BenchmarkResult.Snapshot.
+func ExampleLab_stats() {
+	res, err := sfence.RunBenchmarkContext(context.Background(), "dekker",
+		sfence.BenchmarkOptions{Mode: sfence.Scoped, Ops: 10}, sfence.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := res.Snapshot
+	fmt.Printf("schema: %d\n", snap.Schema)
+	// Exact counter values are pinned by the golden determinism test;
+	// here we read the structure: stable dotted names, per-core and
+	// machine-level views of the same counters.
+	c0, _ := snap.Lookup("core0.fence.stall_cycles")
+	c1, _ := snap.Lookup("core1.fence.stall_cycles")
+	fmt.Printf("per-core fence stalls sum to machine total: %t\n",
+		c0.Value+c1.Value == snap.Value("machine.fence_stall_cycles"))
+	fmt.Printf("committed matches headline stats: %t\n",
+		snap.UValue("machine.committed") == res.Stats.Committed)
+	fmt.Printf("fast-forward engaged: %t\n", snap.Value("machine.clock.skipped_cycles") > 0)
+	fmt.Printf("tracer pinned: %d\n", snap.Value("machine.clock.tracer_pinned"))
+	// Output:
+	// schema: 1
+	// per-core fence stalls sum to machine total: true
+	// committed matches headline stats: true
+	// fast-forward engaged: true
+	// tracer pinned: 0
+}
+
+// ExampleNewCountingObserver attaches a counter-only observer to a
+// benchmark run. Unlike a Tracer, an observer never pins the two-speed
+// clock's per-cycle slow path: the machine keeps fast-forwarding and
+// credits skipped stall-cycle events in bulk, so observability costs
+// almost nothing — and cannot change a single measurement.
+func ExampleNewCountingObserver() {
+	opts := sfence.BenchmarkOptions{Mode: sfence.Traditional, Ops: 20}
+	obs := sfence.NewCountingObserver()
+	observed, err := sfence.RunBenchmarkObserved(context.Background(), "fence-drain", opts, sfence.DefaultConfig(), obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unobserved, err := sfence.RunBenchmarkContext(context.Background(), "fence-drain", opts, sfence.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observer saw fence stalls: %t\n", obs.Count(sfence.TraceFenceStall) > 0)
+	fmt.Printf("still fast-forwarding: %t\n", observed.Snapshot.Value("machine.clock.skipped_cycles") > 0)
+	fmt.Printf("identical to unobserved run: %t\n", observed.Snapshot.Equal(unobserved.Snapshot))
+	// Output:
+	// observer saw fence stalls: true
+	// still fast-forwarding: true
+	// identical to unobserved run: true
+}

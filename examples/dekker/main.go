@@ -117,7 +117,7 @@ func run(scoped bool) (cycles int64, count int64, stalls uint64) {
 		log.Fatal(err)
 	}
 	total := m.TotalStats()
-	return cycles, m.Image().Load(counter), total.FenceStallCycles
+	return cycles, m.Image().Load(counter), total.FenceStallCycles.Get()
 }
 
 func main() {

@@ -36,6 +36,14 @@ type stallAccrual struct {
 	robFull     bool // stats.ROBFullCycles
 	sbFull      bool // stats.SBFullCycles
 
+	// fenceTraces counts the TraceFenceStall events this Tick emitted
+	// (0-2: a retirement-blocked and an issue-blocked fence can each fire
+	// once per cycle). It is what makes counter-only observers
+	// fast-forward-compatible: a quiescent cycle repeats exactly these
+	// events, so FastForward credits an attached stats.Observer with
+	// fenceTraces*delta occurrences in one call.
+	fenceTraces uint8
+
 	nSites   int
 	sites    [2]*FenceSite
 	siteIdle [2]bool
@@ -112,31 +120,39 @@ func (c *Core) FastForward(delta int64) {
 		return
 	}
 	d := uint64(delta)
-	c.stats.Cycles += d
-	c.stats.SumROBOccupancy += (c.tail - c.head) * d
+	c.stats.Cycles.Add(d)
+	c.stats.SumROBOccupancy.Add((c.tail - c.head) * d)
 	a := &c.accrual
 	if a.fenceStall {
-		c.stats.FenceStallCycles += d
+		c.stats.FenceStallCycles.Add(d)
 		if a.fenceRetire {
-			c.stats.FenceStallRetire += d
+			c.stats.FenceStallRetire.Add(d)
 		} else {
-			c.stats.FenceStallIssue += d
+			c.stats.FenceStallIssue.Add(d)
 		}
 		if a.fenceIdle {
-			c.stats.FenceIdleCycles += d
+			c.stats.FenceIdleCycles.Add(d)
 		}
 	}
 	if a.robFull {
-		c.stats.ROBFullCycles += d
+		c.stats.ROBFullCycles.Add(d)
 	}
 	if a.sbFull {
-		c.stats.SBFullCycles += d
+		c.stats.SBFullCycles.Add(d)
 	}
 	for i := 0; i < a.nSites; i++ {
 		a.sites[i].StallCycles += d
 		if a.siteIdle[i] {
 			a.sites[i].IdleCycles += d
 		}
+	}
+	// Counter-only observers receive the skipped cycles' events in bulk:
+	// a quiescent cycle emits exactly the TraceFenceStall events the last
+	// Tick did, so delta skipped cycles emit fenceTraces*delta of them.
+	// This is why an Observer — unlike a Tracer — never pins the slow
+	// path.
+	if c.observer != nil && a.fenceTraces > 0 {
+		c.observer.Observe(c.id, uint8(TraceFenceStall), uint64(a.fenceTraces)*d)
 	}
 	c.cycle += delta
 }

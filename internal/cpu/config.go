@@ -6,7 +6,11 @@
 // (FSS'), and a cid-to-FSB-entry mapping table.
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"sfence/internal/stats"
+)
 
 // FSSRecovery selects how the fence scope stack is repaired after a branch
 // misprediction.
@@ -131,24 +135,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats accumulates per-core execution statistics.
+// Stats accumulates per-core execution statistics. Every field is a
+// registry-typed stat (stats.Counter / stats.Gauge): the core owns the
+// storage — hot-path increments stay plain memory ops — and register
+// publishes each field into the machine's hierarchical stats registry
+// under a stable dotted name (CI's stale-counter gate keeps raw uint64
+// fields from creeping back in).
 type Stats struct {
-	Committed       uint64 // architecturally committed instructions
-	CommittedLoads  uint64
-	CommittedStores uint64
-	CommittedCAS    uint64
-	CommittedFences uint64
+	Committed       stats.Counter // architecturally committed instructions
+	CommittedLoads  stats.Counter
+	CommittedStores stats.Counter
+	CommittedCAS    stats.Counter
+	CommittedFences stats.Counter
 
 	// FenceStallCycles counts cycles in which the core could make no
 	// forward progress at a fence: issue blocked by an unissuable fence,
 	// or (with in-window speculation) retirement blocked by a fence at
 	// the ROB head. This is the "Fence Stalls" component of the paper's
 	// stacked bars.
-	FenceStallCycles uint64
+	FenceStallCycles stats.Counter
 	// FenceStallIssue / FenceStallRetire break FenceStallCycles down by
 	// where the stall occurred.
-	FenceStallIssue  uint64
-	FenceStallRetire uint64
+	FenceStallIssue  stats.Counter
+	FenceStallRetire stats.Counter
 	// FenceIdleCycles is the refined stall metric: cycles in which the
 	// core was blocked at a fence with an otherwise empty pipeline — no
 	// in-flight instruction left to execute, the fence purely waiting for
@@ -156,24 +165,62 @@ type Stats struct {
 	// This is the "Fence Stalls" component used for the paper's stacked
 	// bars; FenceStallCycles additionally counts cycles where pre-fence
 	// work was still executing under the blocked fence.
-	FenceIdleCycles uint64
+	FenceIdleCycles stats.Counter
 
-	ROBFullCycles uint64 // issue blocked: ROB full
-	SBFullCycles  uint64 // retire blocked: store buffer full
+	ROBFullCycles stats.Counter // issue blocked: ROB full
+	SBFullCycles  stats.Counter // retire blocked: store buffer full
 
-	Branches      uint64 // committed branches
-	Mispredicts   uint64
-	Squashed      uint64 // instructions discarded by squashes
-	WrongPathMem  uint64 // wrong-path memory accesses issued
-	SpecLoadFlush uint64 // speculative loads replayed by remote stores
+	Branches      stats.Counter // committed branches
+	Mispredicts   stats.Counter
+	Squashed      stats.Counter // instructions discarded by squashes
+	WrongPathMem  stats.Counter // wrong-path memory accesses issued
+	SpecLoadFlush stats.Counter // speculative loads replayed by remote stores
 
-	ScopeOverflow uint64 // fs_start demoted to full-fence mode (MT/FSS full)
-	ScopeShared   uint64 // scopes that had to share an FSB entry
-	FSEndIgnored  uint64 // fs_end with empty FSS (wrong-path artifacts)
+	ScopeOverflow stats.Counter // fs_start demoted to full-fence mode (MT/FSS full)
+	ScopeShared   stats.Counter // scopes that had to share an FSB entry
+	FSEndIgnored  stats.Counter // fs_end with empty FSS (wrong-path artifacts)
 
-	SumROBOccupancy uint64 // per-cycle sum, for average occupancy
-	MaxROBOccupancy int
-	Cycles          uint64 // cycles this core was active (not yet done)
+	SumROBOccupancy stats.Counter // per-cycle sum, for average occupancy
+	MaxROBOccupancy stats.Gauge
+	Cycles          stats.Counter // cycles this core was active (not yet done)
+}
+
+// register publishes every statistic into g under its stable dotted name.
+// The descriptions double as the registry's documentation: `sfence-sim
+// -stats` prints them next to the values.
+func (s *Stats) register(g *stats.Group) {
+	g.Counter(&s.Cycles, "cycles", "cycles this core was active (not yet done)")
+	g.Counter(&s.Committed, "committed", "architecturally committed instructions")
+	g.Counter(&s.CommittedLoads, "committed_loads", "committed loads")
+	g.Counter(&s.CommittedStores, "committed_stores", "committed stores")
+	g.Counter(&s.CommittedCAS, "committed_cas", "committed compare-and-swaps")
+	g.Counter(&s.CommittedFences, "committed_fences", "committed fences")
+	g.Counter(&s.Squashed, "squashed", "instructions discarded by squashes")
+	g.Counter(&s.WrongPathMem, "wrong_path_mem", "wrong-path memory accesses issued")
+	g.Counter(&s.SpecLoadFlush, "spec_load_flush", "speculative loads replayed by remote stores")
+
+	fence := g.Sub("fence")
+	fence.Counter(&s.FenceStallCycles, "stall_cycles", "cycles with no forward progress at a fence (issue or retirement blocked)")
+	fence.Counter(&s.FenceStallIssue, "stall_issue", "fence stall cycles where issue was blocked")
+	fence.Counter(&s.FenceStallRetire, "stall_retire", "fence stall cycles where retirement was blocked")
+	fence.Counter(&s.FenceIdleCycles, "idle_cycles", "fence stall cycles with an otherwise empty pipeline (the paper's stacked-bar metric)")
+
+	rob := g.Sub("rob")
+	rob.Counter(&s.ROBFullCycles, "full_cycles", "issue-blocked cycles with a full reorder buffer")
+	rob.Counter(&s.SumROBOccupancy, "occupancy_sum", "per-cycle ROB occupancy sum (integral for the average)")
+	rob.Gauge(&s.MaxROBOccupancy, "occupancy_max", "peak ROB occupancy")
+	rob.Formula("occupancy_avg", "mean ROB occupancy over active cycles", s.AvgROBOccupancy)
+
+	g.Sub("sb").Counter(&s.SBFullCycles, "full_cycles", "retire-blocked cycles with a full store buffer")
+
+	branch := g.Sub("branch")
+	branch.Counter(&s.Branches, "committed", "committed branches")
+	branch.Counter(&s.Mispredicts, "mispredicts", "branch mispredictions")
+
+	scope := g.Sub("scope")
+	scope.Counter(&s.ScopeOverflow, "overflow", "fs_start demoted to full-fence mode (mapping table or FSS full)")
+	scope.Counter(&s.ScopeShared, "shared", "scopes that had to share an FSB entry")
+	scope.Counter(&s.FSEndIgnored, "fs_end_ignored", "fs_end with empty FSS (wrong-path artifacts)")
 }
 
 // AvgROBOccupancy returns the mean ROB occupancy over the core's active
@@ -183,6 +230,14 @@ func (s *Stats) AvgROBOccupancy() float64 {
 		return 0
 	}
 	return float64(s.SumROBOccupancy) / float64(s.Cycles)
+}
+
+// FenceStallFraction returns the fence-idle share of active cycles.
+func (s *Stats) FenceStallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FenceIdleCycles) / float64(s.Cycles)
 }
 
 // Add accumulates other into s.

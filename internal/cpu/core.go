@@ -6,6 +6,7 @@ import (
 
 	"sfence/internal/isa"
 	"sfence/internal/memsys"
+	"sfence/internal/stats"
 )
 
 // Pipeline stages of a ROB entry.
@@ -162,8 +163,9 @@ type Core struct {
 	// uses it to deliver snoop notifications to other cores.
 	OnStoreComplete func(core int, addr int64)
 
-	tracer  Tracer
-	profile fenceProfile
+	tracer   Tracer
+	observer stats.Observer
+	profile  fenceProfile
 
 	stats Stats
 	fault error
@@ -235,6 +237,12 @@ func (c *Core) Fault() error { return c.fault }
 // Stats returns the core's statistics.
 func (c *Core) Stats() *Stats { return &c.stats }
 
+// RegisterStats publishes every core statistic into g (typically the
+// machine registry's "coreN" group) under stable dotted names like
+// "fence.stall_cycles" and "rob.occupancy_avg". Cores built outside a
+// machine (unit tests) may simply never register.
+func (c *Core) RegisterStats(g *stats.Group) { c.stats.register(g) }
+
 // Reg returns the committed value of a register.
 func (c *Core) Reg(r isa.Reg) int64 { return c.regs[r] }
 
@@ -271,10 +279,10 @@ func (c *Core) Tick(cycle int64) {
 	c.schedule()
 	c.fetch()
 
-	occ := int(c.tail - c.head)
-	c.stats.SumROBOccupancy += uint64(occ)
-	if occ > c.stats.MaxROBOccupancy {
-		c.stats.MaxROBOccupancy = occ
+	occ := int64(c.tail - c.head)
+	c.stats.SumROBOccupancy.Add(uint64(occ))
+	if occ > c.stats.MaxROBOccupancy.Get() {
+		c.stats.MaxROBOccupancy.Set(occ)
 	}
 }
 
@@ -578,6 +586,7 @@ func (c *Core) retireInsts() {
 					site.IdleCycles++
 				}
 				c.accrual.addSite(site, idle)
+				c.accrual.fenceTraces++
 				c.trace(TraceFenceStall, c.head, e.inst, 1)
 				return
 			}
@@ -714,7 +723,7 @@ func (c *Core) tryEntry(seq uint64) bool {
 	default:
 		c.tryStartALU(e, seq)
 	}
-	if c.tracer != nil && seq < c.tail && e.stage == stExecuting {
+	if (c.tracer != nil || c.observer != nil) && seq < c.tail && e.stage == stExecuting {
 		c.trace(TraceExecute, seq, e.inst, e.readyAt)
 	}
 	if !wasAddrOK && e.addrOK {
@@ -1178,6 +1187,7 @@ func (c *Core) fetch() {
 				site.IdleCycles++
 			}
 			c.accrual.addSite(site, idle)
+			c.accrual.fenceTraces++
 			c.trace(TraceFenceStall, c.tail, in, 0)
 			return
 		}

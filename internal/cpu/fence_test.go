@@ -237,7 +237,7 @@ func TestROBOccupancyStats(t *testing.T) {
 	p := buildFenceProgram(isa.ScopeClass, false)
 	core, _ := runCore(t, DefaultConfig(), p, "main", nil, nil)
 	s := core.Stats()
-	if s.MaxROBOccupancy <= 0 || s.MaxROBOccupancy > DefaultConfig().ROBSize {
+	if s.MaxROBOccupancy <= 0 || s.MaxROBOccupancy.Get() > int64(DefaultConfig().ROBSize) {
 		t.Errorf("max occupancy %d out of range", s.MaxROBOccupancy)
 	}
 	if s.AvgROBOccupancy() <= 0 || s.AvgROBOccupancy() > float64(DefaultConfig().ROBSize) {

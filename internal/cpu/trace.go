@@ -1,6 +1,9 @@
 package cpu
 
-import "sfence/internal/isa"
+import (
+	"sfence/internal/isa"
+	"sfence/internal/stats"
+)
 
 // TraceEvent identifies a pipeline event reported to a Tracer.
 type TraceEvent uint8
@@ -48,7 +51,19 @@ type Tracer interface {
 // SetTracer attaches (or detaches, with nil) a pipeline tracer.
 func (c *Core) SetTracer(t Tracer) { c.tracer = t }
 
+// SetObserver attaches (or detaches, with nil) a counter-only observer.
+// The observer receives the same pipeline events a Tracer does, but only
+// as (event, count) increments — no cycle, sequence, or instruction
+// detail — which is exactly what keeps it compatible with the two-speed
+// clock: the machine keeps fast-forwarding with an observer attached, and
+// FastForward credits skipped stall-cycle events in bulk (see clock.go).
+// Attaching an observer never changes simulation results.
+func (c *Core) SetObserver(o stats.Observer) { c.observer = o }
+
 func (c *Core) trace(ev TraceEvent, seq uint64, in isa.Instruction, detail int64) {
+	if c.observer != nil {
+		c.observer.Observe(c.id, uint8(ev), 1)
+	}
 	if c.tracer != nil {
 		c.tracer.Trace(c.cycle, c.id, ev, seq, in, detail)
 	}

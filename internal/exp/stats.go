@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sfence/internal/kernels"
+	"sfence/internal/stats"
+)
+
+// KernelSnapshot is one benchmark configuration's full stats-registry
+// snapshot: every per-core pipeline, S-Fence hardware, and cache counter,
+// plus machine totals and clock accounting, deterministically ordered.
+type KernelSnapshot struct {
+	Bench    string         `json:"bench"`
+	Config   string         `json:"config"` // T, S, T+, or S+
+	Snapshot stats.Snapshot `json:"snapshot"`
+}
+
+// KernelStats is the "stats" experiment: the full registry snapshot of
+// every Table IV benchmark under the paper's four configurations (T, S,
+// T+, S+). It is the drill-down companion to the figures — any counter a
+// new breakdown needs is already here, without plumbing a field through
+// five layers — and it rides the same session runner, so a warm run cache
+// answers it without re-simulation.
+func (s *Session) KernelStats(ctx context.Context, sc Scale) ([]KernelSnapshot, error) {
+	benches := kernels.All()
+	grid := map[[2]int]*figRun{}
+	var runs []*figRun
+	for bi, info := range benches {
+		for ci, c := range fig13Configs {
+			r := &figRun{bench: info.Name, opts: kernels.Options{
+				Mode: c.Mode, Ops: opsFor(info.Name, sc),
+			}, cfg: withSpec(baseConfig(), c.Spec)}
+			grid[[2]int{bi, ci}] = r
+			runs = append(runs, r)
+		}
+	}
+	if err := s.execute(ctx, "Stats", runs); err != nil {
+		return nil, err
+	}
+	out := make([]KernelSnapshot, 0, len(runs))
+	for bi, info := range benches {
+		for ci, c := range fig13Configs {
+			out = append(out, KernelSnapshot{
+				Bench:    info.Name,
+				Config:   c.Label,
+				Snapshot: grid[[2]int{bi, ci}].res.Snapshot,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderKernelStats formats the headline stats of every snapshot as a
+// table; the full snapshots are in the JSON artifact.
+func RenderKernelStats(rows []KernelSnapshot) string {
+	var sb strings.Builder
+	sb.WriteString("Per-kernel statistics snapshots (headline stats; full registry in JSON)\n")
+	sb.WriteString(fmt.Sprintf("%-12s%-5s%12s%12s%14s%12s%12s\n",
+		"bench", "cfg", "cycles", "committed", "fence-idle", "l1-miss", "skipped"))
+	for _, r := range rows {
+		s := r.Snapshot
+		sb.WriteString(fmt.Sprintf("%-12s%-5s%12d%12d%14d%12d%12d\n",
+			r.Bench, r.Config,
+			s.Value("machine.cycles"),
+			s.Value("machine.committed"),
+			s.Value("machine.fence_idle_cycles"),
+			s.Value("machine.mem.l1_misses"),
+			s.Value("machine.clock.skipped_cycles")))
+	}
+	return sb.String()
+}

@@ -16,6 +16,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/stats"
 )
 
 // FenceMode selects how the kernel's fences are emitted.
@@ -168,7 +169,11 @@ func Build(name string, opts Options) (*Kernel, error) {
 
 // Result summarizes one kernel run. Results are memoized on disk by the
 // run cache and embedded in JSON artifacts, so the JSON tags are part of
-// the results schema.
+// the results schema. The headline fields are projections of Snapshot —
+// the machine's full hierarchical stats registry at end of run — kept as
+// explicit fields so the figure/table pipeline reads them without string
+// lookups and so the serialized layout (and hence every committed
+// artifact) is unchanged from the pre-registry schema.
 type Result struct {
 	Cycles     int64        `json:"cycles"`
 	FenceStall uint64       `json:"fenceStall"` // summed across cores
@@ -178,6 +183,13 @@ type Result struct {
 	// Profile is the per-static-fence stall profile, merged across
 	// cores and sorted by stall cycles.
 	Profile []cpu.FenceSite `json:"profile"`
+
+	// Snapshot is the full, deterministically ordered stats snapshot of
+	// the run: every per-core pipeline, S-Fence hardware, and cache
+	// counter plus machine totals and clock accounting. It rides through
+	// the run cache, so the "stats" experiment and `sfence-sim -stats`
+	// expose it without re-plumbing individual fields through the stack.
+	Snapshot stats.Snapshot `json:"snapshot"`
 }
 
 type machineStats struct {
@@ -205,8 +217,25 @@ func Run(ctx context.Context, k *Kernel, cfg machine.Config) (Result, error) {
 	return RunTraced(ctx, k, cfg, nil)
 }
 
-// RunTraced is Run with an optional pipeline tracer attached to every core.
+// RunTraced is Run with an optional pipeline tracer attached to every
+// core. A tracer pins the machine's per-cycle slow path; see RunObserved
+// for fast-forward-compatible counter-only observation.
 func RunTraced(ctx context.Context, k *Kernel, cfg machine.Config, tracer cpu.Tracer) (Result, error) {
+	return RunInstrumented(ctx, k, cfg, tracer, nil)
+}
+
+// RunObserved is Run with a counter-only observer attached to every core.
+// Unlike a tracer, an observer keeps the two-speed clock fast-forwarding
+// and cannot change any measurement.
+func RunObserved(ctx context.Context, k *Kernel, cfg machine.Config, obs stats.Observer) (Result, error) {
+	return RunInstrumented(ctx, k, cfg, nil, obs)
+}
+
+// RunInstrumented executes the kernel with an optional pipeline tracer
+// and/or counter-only observer attached to every core (either may be
+// nil), verifies the result, and summarizes the machine's stats-registry
+// snapshot into a Result.
+func RunInstrumented(ctx context.Context, k *Kernel, cfg machine.Config, tracer cpu.Tracer, obs stats.Observer) (Result, error) {
 	if len(k.Threads) > cfg.Cores {
 		return Result{}, fmt.Errorf("kernels: %s needs %d cores, machine has %d", k.Name, len(k.Threads), cfg.Cores)
 	}
@@ -214,9 +243,12 @@ func RunTraced(ctx context.Context, k *Kernel, cfg machine.Config, tracer cpu.Tr
 	if err != nil {
 		return Result{}, err
 	}
-	if tracer != nil {
-		for i := 0; i < m.Cores(); i++ {
+	for i := 0; i < m.Cores(); i++ {
+		if tracer != nil {
 			m.Core(i).SetTracer(tracer)
+		}
+		if obs != nil {
+			m.Core(i).SetObserver(obs)
 		}
 	}
 	for addr, val := range k.MemInit {
@@ -234,24 +266,27 @@ func RunTraced(ctx context.Context, k *Kernel, cfg machine.Config, tracer cpu.Tr
 			return Result{}, fmt.Errorf("kernels: %s verification failed: %w", k.Name, err)
 		}
 	}
-	tot := m.TotalStats()
-	mem := m.Hierarchy().TotalStats()
+	// The Result is a projection of the registry snapshot: the machine's
+	// derived "machine.*" stats are the cross-core sums TotalStats used
+	// to provide, evaluated once here.
+	snap := m.StatsSnapshot()
 	profiles := make([][]cpu.FenceSite, m.Cores())
 	for i := 0; i < m.Cores(); i++ {
 		profiles[i] = m.Core(i).FenceProfile()
 	}
 	return Result{
 		Cycles:     cycles,
-		FenceStall: tot.FenceIdleCycles,
-		CoreCycles: tot.Cycles,
+		FenceStall: snap.UValue("machine.fence_idle_cycles"),
+		CoreCycles: snap.UValue("machine.core_cycles"),
 		Profile:    cpu.MergeFenceProfiles(profiles...),
 		Stats: machineStats{
-			Committed:       tot.Committed,
-			CommittedFences: tot.CommittedFences,
-			Mispredicts:     tot.Mispredicts,
-			L1Misses:        mem.L1Misses,
-			L2Misses:        mem.L2Misses,
+			Committed:       snap.UValue("machine.committed"),
+			CommittedFences: snap.UValue("machine.committed_fences"),
+			Mispredicts:     snap.UValue("machine.mispredicts"),
+			L1Misses:        snap.UValue("machine.mem.l1_misses"),
+			L2Misses:        snap.UValue("machine.mem.l2_misses"),
 		},
+		Snapshot: snap,
 	}, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sfence/internal/cpu"
 	"sfence/internal/isa"
 	"sfence/internal/memsys"
+	"sfence/internal/stats"
 )
 
 // Config aggregates the whole-machine parameters.
@@ -68,17 +69,23 @@ type Machine struct {
 	cores []*cpu.Core
 	cycle int64
 
+	reg   *stats.Registry
 	clock ClockStats
 }
 
 // ClockStats reports how the two-speed clock spent a Run: SlowTicks is the
 // number of cycles stepped one by one, SkippedCycles the cycles covered by
 // fast-forward jumps, and Jumps the number of jumps. SlowTicks+SkippedCycles
-// equals the final cycle count.
+// equals the final cycle count. TracerPinned records that fast-forwarding
+// was disabled because a per-cycle pipeline tracer was attached — so zero
+// jumps on a traced run reads as "pinned", not "never idle". Counter-only
+// observers (see cpu.Core.SetObserver) do not pin the clock and never set
+// the flag.
 type ClockStats struct {
 	SlowTicks     int64
 	SkippedCycles int64
 	Jumps         int64
+	TracerPinned  bool
 }
 
 // New builds a machine running prog with one thread per entry of threads.
@@ -98,7 +105,8 @@ func New(cfg Config, prog *isa.Program, threads []Thread) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, prog: prog, img: img, hier: hier}
+	m := &Machine{cfg: cfg, prog: prog, img: img, hier: hier, reg: stats.NewRegistry()}
+	root := m.reg.Root()
 	for i, th := range threads {
 		pc, err := prog.Entry(th.Entry)
 		if err != nil {
@@ -110,9 +118,67 @@ func New(cfg Config, prog *isa.Program, threads []Thread) (*Machine, error) {
 		}
 		core.OnStoreComplete = m.broadcastStore
 		m.cores = append(m.cores, core)
+		// Every component owns its counters and registers them here, at
+		// construction, under its place in the hierarchy: core pipeline
+		// and S-Fence hardware stats under "coreN.*", its cache-side
+		// counters under "coreN.mem.*".
+		g := root.Sub(fmt.Sprintf("core%d", i))
+		core.RegisterStats(g)
+		hier.RegisterStats(g.Sub("mem"), i)
 	}
+	m.registerMachineStats(root.Sub("machine"))
 	return m, nil
 }
+
+// registerMachineStats publishes the whole-machine derived stats: the
+// global cycle, cross-core sums (what TotalStats reports), memory-system
+// totals, the two-speed clock accounting, and the paper's headline
+// fence-stall fraction. All are closures evaluated only at snapshot time.
+func (m *Machine) registerMachineStats(g *stats.Group) {
+	sum := func(pick func(*cpu.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range m.cores {
+				t += pick(c.Stats())
+			}
+			return t
+		}
+	}
+	g.Derived("cycles", "current global cycle", func() uint64 { return uint64(m.cycle) })
+	g.Derived("core_cycles", "active cycles summed across cores", sum(func(s *cpu.Stats) uint64 { return s.Cycles.Get() }))
+	g.Derived("committed", "committed instructions summed across cores", sum(func(s *cpu.Stats) uint64 { return s.Committed.Get() }))
+	g.Derived("committed_fences", "committed fences summed across cores", sum(func(s *cpu.Stats) uint64 { return s.CommittedFences.Get() }))
+	g.Derived("fence_stall_cycles", "fence stall cycles summed across cores", sum(func(s *cpu.Stats) uint64 { return s.FenceStallCycles.Get() }))
+	g.Derived("fence_idle_cycles", "fence idle cycles summed across cores (the stacked-bar metric)", sum(func(s *cpu.Stats) uint64 { return s.FenceIdleCycles.Get() }))
+	g.Derived("mispredicts", "branch mispredictions summed across cores", sum(func(s *cpu.Stats) uint64 { return s.Mispredicts.Get() }))
+	g.Formula("fence_stall_fraction", "fence idle cycles over total core cycles", func() float64 {
+		t := m.TotalStats()
+		return t.FenceStallFraction()
+	})
+
+	mem := g.Sub("mem")
+	mem.Derived("l1_misses", "L1 misses summed across cores", func() uint64 { t := m.hier.TotalStats(); return t.L1Misses.Get() })
+	mem.Derived("l2_misses", "L2 misses summed across cores", func() uint64 { t := m.hier.TotalStats(); return t.L2Misses.Get() })
+
+	clock := g.Sub("clock")
+	clock.Derived("slow_ticks", "cycles stepped one by one by the two-speed clock", func() uint64 { return uint64(m.clock.SlowTicks) })
+	clock.Derived("skipped_cycles", "cycles covered by fast-forward jumps", func() uint64 { return uint64(m.clock.SkippedCycles) })
+	clock.Derived("jumps", "fast-forward jumps taken", func() uint64 { return uint64(m.clock.Jumps) })
+	clock.Derived("tracer_pinned", "1 when a per-cycle tracer disabled fast-forwarding", func() uint64 {
+		if m.clock.TracerPinned {
+			return 1
+		}
+		return 0
+	})
+}
+
+// StatsRegistry exposes the machine's hierarchical statistics registry.
+func (m *Machine) StatsRegistry() *stats.Registry { return m.reg }
+
+// StatsSnapshot evaluates every registered stat — per-core pipeline and
+// S-Fence hardware counters, per-core cache counters, machine totals, and
+// clock accounting — into one deterministically ordered snapshot.
+func (m *Machine) StatsSnapshot() stats.Snapshot { return m.reg.Snapshot() }
 
 // broadcastStore delivers a completed store to the cores that might care.
 // Only a core holding a load that speculatively executed past a fence can
@@ -275,7 +341,14 @@ func (m *Machine) Run(ctx context.Context) (int64, error) {
 		if fault != nil {
 			return m.cycle, fault
 		}
-		if active || m.traced() {
+		if active {
+			continue
+		}
+		if m.traced() {
+			// Record explicitly that fast-forwarding is disabled, so a
+			// traced run's Clock() reads "pinned" instead of silently
+			// showing zero jumps. Counter-only observers do not pin.
+			m.clock.TracerPinned = true
 			continue
 		}
 		// Every core is idle: fast-forward to the earliest wakeup. A core

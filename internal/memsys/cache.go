@@ -1,6 +1,10 @@
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"sfence/internal/stats"
+)
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -108,18 +112,35 @@ type l2Cache struct {
 	tick  uint64
 }
 
-// CoreStats counts memory-system events for one core.
+// CoreStats counts memory-system events for one core. Fields are
+// registry-typed (stats.Counter) and published into the machine's stats
+// registry by RegisterStats; CI's stale-counter gate keeps raw uint64
+// fields from creeping back in.
 type CoreStats struct {
-	Loads         uint64
-	Stores        uint64
-	L1Hits        uint64
-	L1Misses      uint64
-	L2Hits        uint64
-	L2Misses      uint64
-	Upgrades      uint64 // S->M ownership upgrades
-	Invalidations uint64 // lines invalidated in this core's L1 by others
-	Writebacks    uint64 // dirty L1 evictions
-	RemoteDirty   uint64 // misses serviced from another core's M line
+	Loads         stats.Counter
+	Stores        stats.Counter
+	L1Hits        stats.Counter
+	L1Misses      stats.Counter
+	L2Hits        stats.Counter
+	L2Misses      stats.Counter
+	Upgrades      stats.Counter // S->M ownership upgrades
+	Invalidations stats.Counter // lines invalidated in this core's L1 by others
+	Writebacks    stats.Counter // dirty L1 evictions
+	RemoteDirty   stats.Counter // misses serviced from another core's M line
+}
+
+// register publishes the counters into g under stable dotted names.
+func (s *CoreStats) register(g *stats.Group) {
+	g.Counter(&s.Loads, "loads", "demand loads reaching the hierarchy")
+	g.Counter(&s.Stores, "stores", "stores and CAS read-for-ownership accesses")
+	g.Counter(&s.L1Hits, "l1_hits", "L1 hits")
+	g.Counter(&s.L1Misses, "l1_misses", "L1 misses")
+	g.Counter(&s.L2Hits, "l2_hits", "L2 hits")
+	g.Counter(&s.L2Misses, "l2_misses", "L2 misses (memory fetches)")
+	g.Counter(&s.Upgrades, "upgrades", "S->M ownership upgrades")
+	g.Counter(&s.Invalidations, "invalidations", "L1 lines invalidated by other cores")
+	g.Counter(&s.Writebacks, "writebacks", "dirty L1 evictions")
+	g.Counter(&s.RemoteDirty, "remote_dirty", "misses serviced from another core's modified line")
 }
 
 // Hierarchy is the shared two-level cache model. It is purely a timing and
@@ -180,6 +201,10 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Stats returns the per-core statistics accumulated so far.
 func (h *Hierarchy) Stats(core int) CoreStats { return h.stats[core] }
+
+// RegisterStats publishes one core's memory-system counters into g
+// (typically the machine registry's "coreN.mem" group).
+func (h *Hierarchy) RegisterStats(g *stats.Group, core int) { h.stats[core].register(g) }
 
 // TotalStats sums statistics across cores.
 func (h *Hierarchy) TotalStats() CoreStats {

@@ -15,6 +15,7 @@ import (
 	"sfence/internal/exp"
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
+	"sfence/internal/stats"
 )
 
 // CacheStats counts cache traffic. Hits = MemHits + DiskHits; Misses is
@@ -219,7 +220,11 @@ func (c *RunCache) loadDisk(key, bench string) (kernels.Result, bool) {
 	}
 	// The stored inputs must hash back to the key that addressed the
 	// record; a renamed or hand-edited file is a miss, not a wrong hit.
+	// A record predating the stats registry (no snapshot) is also a miss:
+	// re-simulating is deterministic and cheap, while serving it would
+	// silently hand the "stats" experiment an empty snapshot.
 	if rec.Schema != SchemaVersion || rec.Bench != bench ||
+		rec.Result.Snapshot.Schema != stats.SnapshotSchema ||
 		Key(rec.Bench, rec.Opts, rec.Cfg) != key {
 		return kernels.Result{}, false
 	}

@@ -217,6 +217,14 @@ func Experiments() []ExperimentSpec {
 			func(su *Suite, v exp.HardwareCostReport) { su.HardwareCost = v },
 			func(su *Suite) exp.HardwareCostReport { return su.HardwareCost },
 		),
+		typedSpec("stats", statsTitle, KindStats, "BENCH_STATS.json",
+			func(ctx context.Context, s *exp.Session, sc exp.Scale) ([]exp.KernelSnapshot, error) {
+				return s.KernelStats(ctx, sc)
+			},
+			StatsJSON,
+			exp.RenderKernelStats,
+			nil, nil,
+		),
 		typedSpec("simperf", simPerfTitle, KindSimPerf, "BENCH_SIMPERF.json",
 			func(ctx context.Context, _ *exp.Session, sc exp.Scale) (SimPerfReport, error) {
 				return RunSimPerf(ctx, sc)
@@ -227,6 +235,19 @@ func Experiments() []ExperimentSpec {
 		),
 	)
 	return specs
+}
+
+// KindStats is the envelope kind of the per-kernel snapshot experiment.
+// Like simperf it is excluded from the deterministic suite — its payload
+// is a drill-down artifact, not one of the paper's figures — so it is
+// produced only on explicit request (sfence-bench stats).
+const KindStats = "stats"
+
+const statsTitle = "Per-kernel statistics snapshots — the full hierarchical registry per Table IV benchmark and configuration"
+
+// StatsJSON renders the per-kernel snapshot artifact.
+func StatsJSON(rows []exp.KernelSnapshot, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindStats, statsTitle, sc, rows))
 }
 
 // ExperimentIDs lists every registered experiment ID in registry order.
@@ -257,8 +278,12 @@ func renderSimPerf(rep SimPerfReport) string {
 	sb.WriteString(fmt.Sprintf("%-14s%-12s%12s%14s%14s%9s\n",
 		"bench", "mode", "simcycles", "naive cyc/s", "event cyc/s", "speedup"))
 	for _, r := range rep.Rows {
+		mode := r.Mode
+		if r.Observer {
+			mode += "+obs"
+		}
 		sb.WriteString(fmt.Sprintf("%-14s%-12s%12d%14.0f%14.0f%8.2fx\n",
-			r.Bench, r.Mode, r.SimCycles, r.NaiveCyclesPerSec, r.EventCyclesPerSec, r.Speedup))
+			r.Bench, mode, r.SimCycles, r.NaiveCyclesPerSec, r.EventCyclesPerSec, r.Speedup))
 	}
 	return sb.String()
 }

@@ -3,12 +3,14 @@ package results
 import (
 	"context"
 	"fmt"
+	"maps"
 	"runtime"
 	"time"
 
 	"sfence/internal/exp"
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
+	"sfence/internal/trace"
 )
 
 // KindSimPerf is the envelope kind of the simulator-performance artifact
@@ -24,12 +26,17 @@ const simPerfTitle = "Simulator performance — naive per-cycle stepping vs. eve
 // Run loop) and under the two-speed event-driven Run, with identical
 // results asserted before the timings are recorded.
 type SimPerfRow struct {
-	Bench     string `json:"bench"`
-	Mode      string `json:"mode"`
-	Threads   int    `json:"threads"`
-	Ops       int    `json:"ops"`
-	Workload  int    `json:"workload,omitempty"`
-	SimCycles int64  `json:"simCycles"`
+	Bench    string `json:"bench"`
+	Mode     string `json:"mode"`
+	Threads  int    `json:"threads"`
+	Ops      int    `json:"ops"`
+	Workload int    `json:"workload,omitempty"`
+	// Observer marks the counting-observer row: a counter-only
+	// stats.Observer is attached to both machines, which must not pin the
+	// event-driven clock (SkippedCycles stays nonzero) nor perturb any
+	// result, and both clocks must deliver identical event tallies.
+	Observer  bool  `json:"observer,omitempty"`
+	SimCycles int64 `json:"simCycles"`
 
 	NaiveNs int64 `json:"naiveNs"`
 	EventNs int64 `json:"eventNs"`
@@ -52,28 +59,34 @@ type SimPerfReport struct {
 	Rows      []SimPerfRow `json:"rows"`
 }
 
+// simPerfCase is one tracked workload; observer attaches a counter-only
+// counting observer to both machines.
+type simPerfCase struct {
+	bench    string
+	opts     kernels.Options
+	observer bool
+}
+
 // simPerfCases are the tracked workloads: the fence-drain microbenchmark
 // is the paper's Fig. 10 pattern (fence-heavy, miss-heavy — the
 // event-driven clock's home turf and the ISSUE's acceptance workload),
 // dekker is a contended lock-free kernel where spin loops keep cores
-// active and the win comes mostly from the cheaper per-cycle path.
-func simPerfCases(sc exp.Scale) []struct {
-	bench string
-	opts  kernels.Options
-} {
+// active and the win comes mostly from the cheaper per-cycle path. The
+// observer row repeats the first workload with a counting observer
+// attached, pinning down that counter-only observability stays on the
+// fast path (nonzero skipped cycles) with identical results.
+func simPerfCases(sc exp.Scale) []simPerfCase {
 	ops := 400
 	wl := 8
 	if sc == exp.Quick {
 		ops = 200
 		wl = 4
 	}
-	return []struct {
-		bench string
-		opts  kernels.Options
-	}{
-		{"fence-drain", kernels.Options{Mode: kernels.Traditional, Ops: ops}},
-		{"fence-drain", kernels.Options{Mode: kernels.Scoped, Ops: ops}},
-		{"dekker", kernels.Options{Mode: kernels.Traditional, Ops: 60, Workload: wl}},
+	return []simPerfCase{
+		{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Traditional, Ops: ops}},
+		{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Scoped, Ops: ops}},
+		{bench: "dekker", opts: kernels.Options{Mode: kernels.Traditional, Ops: 60, Workload: wl}},
+		{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Traditional, Ops: ops}, observer: true},
 	}
 }
 
@@ -132,6 +145,12 @@ func RunSimPerf(ctx context.Context, sc exp.Scale) (SimPerfReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("results: simperf %s: %w", tc.bench, err)
 		}
+		var obsN, obsE *trace.CountingObserver
+		if tc.observer {
+			obsN, obsE = trace.NewCountingObserver(), trace.NewCountingObserver()
+			trace.AttachObserver(mN, obsN)
+			trace.AttachObserver(mE, obsE)
+		}
 
 		t0 := time.Now()
 		naiveCycles, err := runNaive(ctx, mN)
@@ -153,6 +172,14 @@ func RunSimPerf(ctx context.Context, sc exp.Scale) (SimPerfReport, error) {
 		if sn != se {
 			return rep, fmt.Errorf("results: simperf %s: clock divergence in core stats:\nnaive %+v\nevent %+v", tc.bench, sn, se)
 		}
+		if tc.observer {
+			if !maps.Equal(obsN.Counts(), obsE.Counts()) {
+				return rep, fmt.Errorf("results: simperf %s: observer tallies diverged across clocks:\nnaive %v\nevent %v", tc.bench, obsN.Counts(), obsE.Counts())
+			}
+			if cs := mE.Clock(); cs.SkippedCycles == 0 {
+				return rep, fmt.Errorf("results: simperf %s: counting observer pinned the slow path: %+v", tc.bench, cs)
+			}
+		}
 		if kN.Verify != nil {
 			if err := kN.Verify(mE.Image()); err != nil {
 				return rep, fmt.Errorf("results: simperf %s: %w", tc.bench, err)
@@ -166,6 +193,7 @@ func RunSimPerf(ctx context.Context, sc exp.Scale) (SimPerfReport, error) {
 			Threads:   len(kN.Threads),
 			Ops:       tc.opts.Ops,
 			Workload:  tc.opts.Workload,
+			Observer:  tc.observer,
 			SimCycles: eventCycles,
 			NaiveNs:   naiveNs,
 			EventNs:   eventNs,

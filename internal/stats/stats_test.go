@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c++ // hot paths may use plain arithmetic
+	if c.Get() != 6 {
+		t.Fatalf("counter = %d, want 6", c.Get())
+	}
+	var g Gauge
+	g.Set(-3)
+	if g.Get() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Get())
+	}
+}
+
+func TestRegistrySnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	var g Gauge
+	core := r.Root().Sub("core1")
+	core.Counter(&b, "zz_last", "registered first, sorts last")
+	core.Counter(&a, "aa_first", "registered second, sorts first")
+	core.Sub("rob").Gauge(&g, "occupancy_max", "peak occupancy")
+	r.Root().Sub("machine").Derived("total", "a+b", func() uint64 { return a.Get() + b.Get() })
+	r.Root().Sub("machine").Formula("ratio", "a over b", func() float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	})
+
+	a.Add(2)
+	b.Add(8)
+	g.Set(5)
+
+	snap := r.Snapshot()
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema = %d, want %d", snap.Schema, SnapshotSchema)
+	}
+	if !sort.SliceIsSorted(snap.Samples, func(i, j int) bool { return snap.Samples[i].Name < snap.Samples[j].Name }) {
+		t.Fatal("snapshot not sorted by name")
+	}
+	if got := snap.Value("core1.aa_first"); got != 2 {
+		t.Errorf("aa_first = %d, want 2", got)
+	}
+	if got := snap.Value("core1.rob.occupancy_max"); got != 5 {
+		t.Errorf("occupancy_max = %d, want 5", got)
+	}
+	if got := snap.UValue("machine.total"); got != 10 {
+		t.Errorf("derived total = %d, want 10", got)
+	}
+	if got := snap.Float("machine.ratio"); got != 0.25 {
+		t.Errorf("formula ratio = %v, want 0.25", got)
+	}
+	if _, ok := snap.Lookup("nope"); ok {
+		t.Error("Lookup found an unregistered stat")
+	}
+	if snap.Value("nope") != 0 {
+		t.Error("absent stat should read 0")
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.Root().Counter(&c, "x", "")
+	s1 := r.Snapshot()
+	if !s1.Equal(r.Snapshot()) {
+		t.Fatal("identical snapshots not equal")
+	}
+	c.Inc()
+	if s1.Equal(r.Snapshot()) {
+		t.Fatal("diverged snapshots reported equal")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(42)
+	r.Root().Sub("core0").Counter(&c, "cycles", "active cycles")
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(back) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", snap, back)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	var a, b Counter
+	r.Root().Counter(&a, "x", "")
+	r.Root().Counter(&b, "x", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	bad := []string{"", "Upper", "has space", "trailing.", ".leading", "a..b", "dash-ed"}
+	for _, name := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			r := NewRegistry()
+			var c Counter
+			r.Root().Counter(&c, name, "")
+		}()
+	}
+}

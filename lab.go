@@ -61,7 +61,7 @@ func WithParallelism(n int) LabOption { return func(l *Lab) { l.parallelism = n 
 
 // WithRunner overrides how the Lab executes simulations, taking
 // precedence over WithCache. This is the session-scoped replacement for
-// the deprecated SetExperimentRunner global hook.
+// the long-gone global runner hook.
 func WithRunner(r ExperimentRunner) LabOption { return func(l *Lab) { l.runner = r } }
 
 // NewLab builds an experiment session from the given options. The

@@ -202,7 +202,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"ablation/fsb-entries", "ablation/fss-depth", "ablation/store-buffer",
 		"ablation/fifo-store-buffer", "ablation/finer-fences",
 		"ablation/nested-scopes", "ablation/fss-recovery",
-		"table3", "table4", "hwcost", "simperf",
+		"table3", "table4", "hwcost", "stats", "simperf",
 	}
 	if len(specs) != len(want) {
 		t.Errorf("registry has %d specs, want %d", len(specs), len(want))
@@ -214,6 +214,9 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if byID["simperf"].InSuite() {
 		t.Error("simperf must be excluded from the deterministic suite")
+	}
+	if byID["stats"].InSuite() {
+		t.Error("stats must be excluded from the deterministic suite (it is a drill-down artifact, not a paper figure)")
 	}
 	if !byID["fig12"].InSuite() || byID["fig12"].Artifact != "BENCH_FIG12.json" {
 		t.Errorf("fig12 spec malformed: %+v", byID["fig12"])
@@ -241,44 +244,5 @@ func TestLabRunArtifactEncoding(t *testing.T) {
 	}
 	if out := res.Render(); !strings.Contains(out, "bytes") {
 		t.Errorf("render missing content: %q", out)
-	}
-}
-
-// TestDeprecatedHooksStillRoute verifies the one-release compatibility
-// shims: the facade-level runner and progress hooks must still feed the
-// deprecated package-level experiment functions (internal/exp itself no
-// longer has hooks).
-func TestDeprecatedHooksStillRoute(t *testing.T) {
-	var mu sync.Mutex
-	ran := 0
-	progressed := 0
-	prevRunner := sfence.SetExperimentRunner(func(ctx context.Context, bench string, opts sfence.BenchmarkOptions, cfg sfence.Config) (sfence.BenchmarkResult, error) {
-		mu.Lock()
-		ran++
-		mu.Unlock()
-		// A synthetic constant-time result: the shim test must not pay
-		// for real simulations.
-		return sfence.BenchmarkResult{Cycles: 1000, CoreCycles: 8000}, nil
-	})
-	defer sfence.SetExperimentRunner(prevRunner)
-	prevProgress := sfence.SetExperimentProgress(func(string, int, int) {
-		mu.Lock()
-		progressed++
-		mu.Unlock()
-	})
-	defer sfence.SetExperimentProgress(prevProgress)
-
-	series, err := sfence.Figure12(sfence.Quick)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(series) != 4 {
-		t.Fatalf("got %d series", len(series))
-	}
-	if ran != 48 {
-		t.Errorf("custom runner saw %d simulations, want 48", ran)
-	}
-	if progressed == 0 {
-		t.Error("progress hook never fired")
 	}
 }
