@@ -22,6 +22,7 @@ import (
 	"sfence/internal/kernels"
 	"sfence/internal/litmus"
 	"sfence/internal/machine"
+	"sfence/internal/memsys"
 	"sfence/internal/stats"
 	"sfence/internal/trace"
 )
@@ -106,7 +107,7 @@ func assertMachinesEqual(t *testing.T, name string, naive, event *machine.Machin
 			t.Errorf("%s: core %d fence profile diverged:\nnaive %+v\nevent %+v", name, i, pn, pe)
 		}
 	}
-	if hn, he := naive.Hierarchy().TotalStats(), event.Hierarchy().TotalStats(); hn != he {
+	if hn, he := naive.Hierarchy().TotalStats(), event.Hierarchy().TotalStats(); !reflect.DeepEqual(hn, he) {
 		t.Errorf("%s: hierarchy stats diverged:\nnaive %+v\nevent %+v", name, hn, he)
 	}
 	if hn, he := imageHash(naive), imageHash(event); hn != he {
@@ -133,15 +134,20 @@ func buildKernelMachine(t *testing.T, bench string, opts kernels.Options, cfg ma
 	return k, m
 }
 
+// quickOps is the shared Quick-scale sizing of the differential clock
+// tests; both the default-machine and the depth-3 equivalence tests read
+// it, so a newly added kernel cannot silently run at Ops 0 in one of
+// them.
+var quickOps = map[string]int{
+	"dekker": 25, "wsq": 50, "msn": 32, "harris": 40,
+	"pst": 160, "ptc": 64, "barnes": 16, "radiosity": 16,
+	"nested-scope": 40, "fence-drain": 60,
+}
+
 // TestClockEquivalenceKernels runs every Table IV kernel (plus the hidden
 // microbenchmarks) under both clocks, in the paper's T, S, T+, and S+
 // configurations, at Quick-scale sizing.
 func TestClockEquivalenceKernels(t *testing.T) {
-	quickOps := map[string]int{
-		"dekker": 25, "wsq": 50, "msn": 32, "harris": 40,
-		"pst": 160, "ptc": 64, "barnes": 16, "radiosity": 16,
-		"nested-scope": 40, "fence-drain": 60,
-	}
 	benches := []string{"dekker", "wsq", "msn", "harris", "barnes", "radiosity", "pst", "ptc", "nested-scope", "fence-drain"}
 	for _, bench := range benches {
 		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
@@ -170,6 +176,39 @@ func TestClockEquivalenceKernels(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestClockEquivalenceDepth3 re-runs the kernel differential on a
+// three-level memory hierarchy: fast-forward must stay bit-exact when the
+// latency structure (and therefore every wakeup bound) comes from a
+// deeper hierarchy than the Table III default. Every Table IV kernel runs
+// under traditional and scoped fences at Quick-scale sizing.
+func TestClockEquivalenceDepth3(t *testing.T) {
+	for _, info := range kernels.All() {
+		bench := info.Name
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			name := fmt.Sprintf("depth3/%s/%v", bench, mode)
+			t.Run(name, func(t *testing.T) {
+				opts := kernels.Options{Mode: mode, Ops: quickOps[bench], Workload: 2}
+				cfg := machine.DefaultConfig()
+				cfg.Mem = memsys.DepthConfig(3)
+				kN, mN := buildKernelMachine(t, bench, opts, cfg)
+				_, mE := buildKernelMachine(t, bench, opts, cfg)
+
+				nc := naiveRun(t, mN)
+				ec, err := mE.Run(context.Background())
+				if err != nil {
+					t.Fatalf("event-driven run: %v", err)
+				}
+				assertMachinesEqual(t, name, mN, mE, nc, ec)
+				if kN.Verify != nil {
+					if err := kN.Verify(mE.Image()); err != nil {
+						t.Errorf("%s: event-driven result failed verification: %v", name, err)
+					}
+				}
+			})
 		}
 	}
 }

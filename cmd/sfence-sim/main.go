@@ -37,6 +37,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic input seed")
 		spec      = flag.Bool("spec", false, "enable in-window speculation (T+/S+)")
 		memlat    = flag.Int("memlat", 0, "memory latency override in cycles")
+		depth     = flag.Int("depth", 0, "memory-hierarchy depth (2-4; 0 = the 2-level Table III default)")
 		robsize   = flag.Int("rob", 0, "ROB size override")
 		fifo      = flag.Bool("fifosb", false, "FIFO (TSO-like) store buffer")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
@@ -79,6 +80,13 @@ func main() {
 	cfg := sfence.DefaultConfig()
 	cfg.Core.InWindowSpec = *spec
 	cfg.Core.FIFOStoreBuffer = *fifo
+	if *depth > 0 {
+		if *depth < 2 || *depth > 4 {
+			fmt.Fprintf(os.Stderr, "depth %d out of range [2,4]\n", *depth)
+			os.Exit(2)
+		}
+		cfg.Mem = sfence.DepthMemConfig(*depth)
+	}
 	if *memlat > 0 {
 		cfg.Mem.MemLatency = *memlat
 	}
@@ -120,8 +128,15 @@ func main() {
 	fmt.Printf("committed fences:   %d\n", res.Stats.CommittedFences)
 	fmt.Printf("fence stall cycles: %d (%.1f%% of core time)\n", res.FenceStall, 100*res.FenceStallFraction())
 	fmt.Printf("mispredictions:     %d\n", res.Stats.Mispredicts)
-	fmt.Printf("L1 misses:          %d\n", res.Stats.L1Misses)
-	fmt.Printf("L2 misses:          %d\n", res.Stats.L2Misses)
+	// One miss line per configured cache level (the last level's misses
+	// are the memory fetches), read from the stats snapshot.
+	for k := 1; ; k++ {
+		smp, ok := res.Snapshot.Lookup(fmt.Sprintf("machine.mem.l%d_misses", k))
+		if !ok {
+			break
+		}
+		fmt.Printf("%-20s%d\n", fmt.Sprintf("L%d misses:", k), smp.Value)
+	}
 	fmt.Println("verification:       PASSED")
 	if *profile {
 		fmt.Println("\nFence profile (stalls by static fence site):")

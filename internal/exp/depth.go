@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"context"
+
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+// DepthLevels are the hierarchy depths the fig-depth experiment sweeps.
+// Depth 2 is the Table III machine exactly, so its runs share cache
+// entries with the Figure 13 baselines.
+var DepthLevels = []int{2, 3, 4}
+
+// FigureDepth is the depth-sweep experiment (beyond the paper): every
+// Table IV benchmark under traditional and scoped fences on 2-, 3-, and
+// 4-level memory hierarchies (memsys.DepthConfig), with bars normalized
+// per benchmark to the 2-level traditional run. It is the hierarchy-shape
+// companion to Figure 15's latency sweep: deeper hierarchies stretch the
+// store-buffer drain a traditional fence must wait out, so the experiment
+// shows how much of the fence-stall cost is a property of the memory
+// system rather than of fence semantics.
+func (s *Session) FigureDepth(ctx context.Context, sc Scale) ([]BenchGroup, error) {
+	infos := kernels.All()
+	benches := make([]string, len(infos))
+	for i, info := range infos {
+		benches[i] = info.Name
+	}
+	return s.sweepFigure(ctx, "Depth sweep", benches, sc, DepthLevels, 2, intLabel,
+		func(cfg machine.Config, depth int) machine.Config {
+			cfg.Mem = memsys.DepthConfig(depth)
+			return cfg
+		})
+}

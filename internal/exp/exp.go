@@ -224,17 +224,31 @@ type TableIIIRow struct {
 }
 
 // TableIII returns the simulated machine's architectural parameters in
-// the paper's Table III layout.
+// the paper's Table III layout, with one row per configured cache level.
 func TableIII(cfg machine.Config) []TableIIIRow {
-	return []TableIIIRow{
+	rows := []TableIIIRow{
 		{"Processor", fmt.Sprintf("%d core CMP, out-of-order", cfg.Cores)},
 		{"ROB size", fmt.Sprintf("%d", cfg.Core.ROBSize)},
-		{"L1 Cache", fmt.Sprintf("private %d KB, %d way, %d-cycle latency", cfg.Mem.L1.SizeBytes>>10, cfg.Mem.L1.Ways, cfg.Mem.L1.Latency)},
-		{"L2 Cache", fmt.Sprintf("shared %d MB, %d way, %d-cycle latency", cfg.Mem.L2.SizeBytes>>20, cfg.Mem.L2.Ways, cfg.Mem.L2.Latency)},
-		{"Memory", fmt.Sprintf("%d-cycle latency", cfg.Mem.MemLatency)},
-		{"# of FSB entries", fmt.Sprintf("%d", cfg.Core.FSBEntries)},
-		{"# of FSS entries", fmt.Sprintf("%d", cfg.Core.FSSEntries)},
 	}
+	for k, lv := range cfg.Mem.Levels {
+		share := "private"
+		if lv.Shared {
+			share = "shared"
+		}
+		size := fmt.Sprintf("%d KB", lv.SizeBytes>>10)
+		if lv.SizeBytes >= 1<<20 && lv.SizeBytes%(1<<20) == 0 {
+			size = fmt.Sprintf("%d MB", lv.SizeBytes>>20)
+		}
+		rows = append(rows, TableIIIRow{
+			fmt.Sprintf("L%d Cache", k+1),
+			fmt.Sprintf("%s %s, %d way, %d-cycle latency", share, size, lv.Ways, lv.Latency),
+		})
+	}
+	return append(rows,
+		TableIIIRow{"Memory", fmt.Sprintf("%d-cycle latency", cfg.Mem.MemLatency)},
+		TableIIIRow{"# of FSB entries", fmt.Sprintf("%d", cfg.Core.FSBEntries)},
+		TableIIIRow{"# of FSS entries", fmt.Sprintf("%d", cfg.Core.FSSEntries)},
+	)
 }
 
 // TableIV returns the benchmark descriptions (the paper's Table IV).

@@ -152,10 +152,13 @@ func (s *Session) Figure14(ctx context.Context, sc Scale) ([]BenchGroup, error) 
 	return out, nil
 }
 
+// fullApps are the four full applications the paper's sensitivity
+// figures (15 and 16) sweep.
+var fullApps = []string{"pst", "ptc", "barnes", "radiosity"}
+
 // sweepFigure runs a T/S pair per parameter value per benchmark, with bars
 // normalized to the baseline value's traditional run.
-func (s *Session) sweepFigure(ctx context.Context, name string, sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
-	benches := []string{"pst", "ptc", "barnes", "radiosity"}
+func (s *Session) sweepFigure(ctx context.Context, name string, benches []string, sc Scale, values []int, baseline int, label func(int) string, apply func(machine.Config, int) machine.Config) ([]BenchGroup, error) {
 	modes := []struct {
 		suffix string
 		mode   kernels.FenceMode
@@ -203,7 +206,7 @@ func (s *Session) sweepFigure(ctx context.Context, name string, sc Scale, values
 // traditional run (the Table III default, matching the paper's
 // normalization to the traditional-fence total).
 func (s *Session) Figure15(ctx context.Context, sc Scale) ([]BenchGroup, error) {
-	return s.sweepFigure(ctx, "Figure 15", sc, []int{200, 300, 500}, 300, intLabel,
+	return s.sweepFigure(ctx, "Figure 15", fullApps, sc, []int{200, 300, 500}, 300, intLabel,
 		func(cfg machine.Config, lat int) machine.Config {
 			cfg.Mem.MemLatency = lat
 			return cfg
@@ -214,7 +217,7 @@ func (s *Session) Figure15(ctx context.Context, sc Scale) ([]BenchGroup, error) 
 // buffers under traditional and scoped fences, normalized per benchmark to
 // the 128-entry traditional run.
 func (s *Session) Figure16(ctx context.Context, sc Scale) ([]BenchGroup, error) {
-	return s.sweepFigure(ctx, "Figure 16", sc, []int{64, 128, 256}, 128, intLabel,
+	return s.sweepFigure(ctx, "Figure 16", fullApps, sc, []int{64, 128, 256}, 128, intLabel,
 		func(cfg machine.Config, size int) machine.Config {
 			cfg.Core.ROBSize = size
 			return cfg

@@ -2,6 +2,20 @@
 // image into a deterministic chip-multiprocessor: a single global clock
 // ticks every core in a fixed order, so every run of the same program and
 // configuration produces bit-identical results.
+//
+// Construction (New) also wires the observability substrate: every
+// component registers its counters into one stats.Registry — core
+// pipeline and S-Fence hardware stats under "coreN.*", that core's
+// per-cache-level counters under "coreN.mem.l<k>_*", machine-wide
+// derived sums and the clock accounting under "machine.*" — and
+// StatsSnapshot evaluates all of it into one deterministically ordered
+// snapshot.
+//
+// Run is a two-speed event-driven loop: per-cycle stepping while any
+// core makes progress, and a fast-forward jump to the earliest per-core
+// wakeup when every core is quiescent, with skipped cycles credited so
+// results stay bit-identical to naive stepping (see DESIGN.md, "The
+// two-speed event-driven clock").
 package machine
 
 import (
@@ -156,9 +170,20 @@ func (m *Machine) registerMachineStats(g *stats.Group) {
 		return t.FenceStallFraction()
 	})
 
+	// One cross-core miss sum per cache level, plus hit sums for the
+	// shared levels (private-level hits stay a per-core property under
+	// coreN.mem.l<k>_hits).
 	mem := g.Sub("mem")
-	mem.Derived("l1_misses", "L1 misses summed across cores", func() uint64 { t := m.hier.TotalStats(); return t.L1Misses.Get() })
-	mem.Derived("l2_misses", "L2 misses summed across cores", func() uint64 { t := m.hier.TotalStats(); return t.L2Misses.Get() })
+	for k := 0; k < m.hier.Depth(); k++ {
+		k := k
+		n := k + 1
+		mem.Derived(fmt.Sprintf("l%d_misses", n), fmt.Sprintf("L%d misses summed across cores", n),
+			func() uint64 { return m.hier.LevelMisses(k) })
+		if m.hier.LevelConfig(k).Shared {
+			mem.Derived(fmt.Sprintf("l%d_hits", n), fmt.Sprintf("L%d hits summed across cores", n),
+				func() uint64 { return m.hier.LevelHits(k) })
+		}
+	}
 
 	clock := g.Sub("clock")
 	clock.Derived("slow_ticks", "cycles stepped one by one by the two-speed clock", func() uint64 { return uint64(m.clock.SlowTicks) })
@@ -186,7 +211,7 @@ func (m *Machine) StatsSnapshot() stats.Snapshot { return m.reg.Snapshot() }
 // occupancy count is an exact snoop filter: skipped cores would have
 // treated the notification as a no-op. This subsumes a directory-mask
 // filter (a core with a speculative load on the line is a sharer), and
-// unlike the L2 sharer mask — which an intervening write to the same line
+// unlike the directory's sharer mask — which an intervening write to the same line
 // resets while the speculative load is still in flight — it can never skip
 // a core that must replay. See DESIGN.md, "Snoop filtering".
 func (m *Machine) broadcastStore(from int, addr int64) {

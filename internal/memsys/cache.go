@@ -6,12 +6,16 @@ import (
 	"sfence/internal/stats"
 )
 
-// CacheConfig describes one cache level.
+// CacheConfig describes one cache level. A level is either private (one
+// bank per core, like the paper's L1s) or shared (a single bank all cores
+// reach, like the paper's L2). The outermost shared level additionally
+// holds the coherence directory.
 type CacheConfig struct {
-	SizeBytes int // total capacity
-	Ways      int // associativity
-	LineBytes int // line size
-	Latency   int // access latency in cycles
+	SizeBytes int  // total capacity (per bank)
+	Ways      int  // associativity
+	LineBytes int  // line size
+	Latency   int  // access latency in cycles
+	Shared    bool // one bank shared by all cores (false = one bank per core)
 }
 
 // Sets returns the number of sets implied by the configuration.
@@ -34,15 +38,22 @@ func (c CacheConfig) validate(name string) error {
 	return nil
 }
 
-// Config describes the whole hierarchy. The defaults in DefaultConfig
-// mirror Table III of the paper.
+// MaxLevels bounds the configurable hierarchy depth.
+const MaxLevels = 8
+
+// Config describes the whole hierarchy as an ordered list of cache
+// levels, innermost first: Levels[0] is the L1, Levels[len-1] the last
+// level before memory. Private levels must form a prefix and shared
+// levels a suffix (a private cache behind a shared one has no physical
+// meaning), the innermost level must be private, and the outermost must
+// be shared — it carries the coherence directory. The defaults in
+// DefaultConfig mirror Table III of the paper.
 type Config struct {
-	L1 CacheConfig // private, per core
-	L2 CacheConfig // shared, inclusive, holds the directory
+	Levels []CacheConfig
 	// MemLatency is the DRAM round-trip latency in cycles.
 	MemLatency int
 	// RemoteDirtyPenalty is the extra latency when the line must be
-	// fetched from another core's modified L1 copy.
+	// fetched from another core's modified private copy.
 	RemoteDirtyPenalty int
 }
 
@@ -51,23 +62,75 @@ type Config struct {
 // 10-cycle latency, and 300-cycle memory.
 func DefaultConfig() Config {
 	return Config{
-		L1:                 CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, Latency: 2},
-		L2:                 CacheConfig{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, Latency: 10},
+		Levels: []CacheConfig{
+			{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, Latency: 2},
+			{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, Latency: 10, Shared: true},
+		},
 		MemLatency:         300,
 		RemoteDirtyPenalty: 10,
 	}
 }
 
+// DepthConfig returns the canonical hierarchy of the given depth used by
+// the fig-depth sweep. Depth 2 is DefaultConfig (Table III) exactly;
+// depth 3 inserts a private 256 KB L2 and widens the shared last level to
+// 4 MB; depth 4 additionally splits the shared side into a 2 MB L3 and an
+// 8 MB last level. Per-level latencies grow with capacity so a deeper
+// hierarchy trades a slower last level for extra filtering, the same
+// trade Figure 15 makes with memory latency. Depths outside [2,4] panic:
+// callers pass literals, so an out-of-range depth is a programming error.
+func DepthConfig(depth int) Config {
+	cfg := Config{MemLatency: 300, RemoteDirtyPenalty: 10}
+	l1 := CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, Latency: 2}
+	switch depth {
+	case 2:
+		return DefaultConfig()
+	case 3:
+		cfg.Levels = []CacheConfig{
+			l1,
+			{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, Latency: 6},
+			{SizeBytes: 4 << 20, Ways: 16, LineBytes: 64, Latency: 24, Shared: true},
+		}
+	case 4:
+		cfg.Levels = []CacheConfig{
+			l1,
+			{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, Latency: 6},
+			{SizeBytes: 2 << 20, Ways: 8, LineBytes: 64, Latency: 14, Shared: true},
+			{SizeBytes: 8 << 20, Ways: 16, LineBytes: 64, Latency: 36, Shared: true},
+		}
+	default:
+		panic(fmt.Sprintf("memsys: DepthConfig(%d) out of range [2,4]", depth))
+	}
+	return cfg
+}
+
+// Depth returns the number of cache levels.
+func (c Config) Depth() int { return len(c.Levels) }
+
 // Validate checks structural constraints.
 func (c Config) Validate() error {
-	if err := c.L1.validate("L1"); err != nil {
-		return err
+	if n := len(c.Levels); n < 2 || n > MaxLevels {
+		return fmt.Errorf("memsys: %d cache levels out of range [2,%d]", n, MaxLevels)
 	}
-	if err := c.L2.validate("L2"); err != nil {
-		return err
+	seenShared := false
+	for k, lv := range c.Levels {
+		name := fmt.Sprintf("L%d", k+1)
+		if err := lv.validate(name); err != nil {
+			return err
+		}
+		if lv.LineBytes != c.Levels[0].LineBytes {
+			return fmt.Errorf("memsys: L1 line %d != %s line %d", c.Levels[0].LineBytes, name, lv.LineBytes)
+		}
+		if seenShared && !lv.Shared {
+			return fmt.Errorf("memsys: %s is private outside a shared level; private levels must be innermost", name)
+		}
+		seenShared = seenShared || lv.Shared
 	}
-	if c.L1.LineBytes != c.L2.LineBytes {
-		return fmt.Errorf("memsys: L1 line %d != L2 line %d", c.L1.LineBytes, c.L2.LineBytes)
+	if c.Levels[0].Shared {
+		return fmt.Errorf("memsys: L1 must be private (per core)")
+	}
+	if !c.Levels[len(c.Levels)-1].Shared {
+		return fmt.Errorf("memsys: the outermost level must be shared (it holds the directory)")
 	}
 	if c.MemLatency < 0 || c.RemoteDirtyPenalty < 0 {
 		return fmt.Errorf("memsys: negative latency")
@@ -75,7 +138,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// L1 line states.
+// Innermost-level (L1) line states.
 const (
 	l1Invalid uint8 = iota
 	l1Shared
@@ -89,6 +152,8 @@ type l1Line struct {
 	lru   uint64
 }
 
+// l1Cache is one core's innermost cache — the only level carrying MESI
+// ownership state; outer levels are tag stores (tagStore).
 type l1Cache struct {
 	cfg   CacheConfig
 	sets  int
@@ -96,61 +161,96 @@ type l1Cache struct {
 	tick  uint64
 }
 
-type l2Line struct {
+// tagLine is one line of an outer level. The directory fields (sharers,
+// owner, dirty) are maintained only at the outermost shared level; middle
+// levels use just tag/valid/dirty/lru.
+type tagLine struct {
 	tag     int64
 	valid   bool
 	dirty   bool
-	sharers uint64 // bitmask of cores with an L1 copy (S/E/M)
+	sharers uint64 // bitmask of cores with a private copy (S/E/M)
 	owner   int8   // core index holding E/M, or -1
 	lru     uint64
 }
 
-type l2Cache struct {
+// tagStore is one bank of an outer cache level: the single array of a
+// shared level, or one core's slice of a private level.
+type tagStore struct {
 	cfg   CacheConfig
 	sets  int
-	lines []l2Line
+	lines []tagLine
 	tick  uint64
+}
+
+// outerLevel is one cache level beyond the innermost: a banked tag store.
+type outerLevel struct {
+	cfg   CacheConfig
+	banks []tagStore // one per core when private, a single bank when shared
+}
+
+// bank returns the tag store the given core reaches at this level.
+func (lv *outerLevel) bank(core int) *tagStore {
+	if lv.cfg.Shared {
+		return &lv.banks[0]
+	}
+	return &lv.banks[core]
+}
+
+// LevelStats is one cache level's hit/miss pair for one core.
+type LevelStats struct {
+	Hits   stats.Counter
+	Misses stats.Counter
 }
 
 // CoreStats counts memory-system events for one core. Fields are
 // registry-typed (stats.Counter) and published into the machine's stats
-// registry by RegisterStats; CI's stale-counter gate keeps raw uint64
+// registry by RegisterStats; CI's stale-counter gate keeps raw counter
 // fields from creeping back in.
 type CoreStats struct {
-	Loads         stats.Counter
-	Stores        stats.Counter
-	L1Hits        stats.Counter
-	L1Misses      stats.Counter
-	L2Hits        stats.Counter
-	L2Misses      stats.Counter
+	Loads  stats.Counter
+	Stores stats.Counter
+	// Level holds this core's per-level hit/miss counters, innermost
+	// first: Level[k] describes the L(k+1) cache, registered as
+	// coreN.mem.l<k+1>_hits / l<k+1>_misses.
+	Level         []LevelStats
 	Upgrades      stats.Counter // S->M ownership upgrades
-	Invalidations stats.Counter // lines invalidated in this core's L1 by others
-	Writebacks    stats.Counter // dirty L1 evictions
+	Invalidations stats.Counter // private-level lines invalidated by others
+	Writebacks    stats.Counter // dirty private-level evictions
 	RemoteDirty   stats.Counter // misses serviced from another core's M line
 }
 
-// register publishes the counters into g under stable dotted names.
+// register publishes the counters into g under stable dotted names: the
+// per-level pairs as l<k>_hits / l<k>_misses (1-based, innermost first),
+// everything else under its historical name.
 func (s *CoreStats) register(g *stats.Group) {
 	g.Counter(&s.Loads, "loads", "demand loads reaching the hierarchy")
 	g.Counter(&s.Stores, "stores", "stores and CAS read-for-ownership accesses")
-	g.Counter(&s.L1Hits, "l1_hits", "L1 hits")
-	g.Counter(&s.L1Misses, "l1_misses", "L1 misses")
-	g.Counter(&s.L2Hits, "l2_hits", "L2 hits")
-	g.Counter(&s.L2Misses, "l2_misses", "L2 misses (memory fetches)")
+	for k := range s.Level {
+		n := k + 1
+		g.Counter(&s.Level[k].Hits, fmt.Sprintf("l%d_hits", n), fmt.Sprintf("L%d hits", n))
+		missDesc := fmt.Sprintf("L%d misses", n)
+		if k == len(s.Level)-1 {
+			missDesc += " (memory fetches)"
+		}
+		g.Counter(&s.Level[k].Misses, fmt.Sprintf("l%d_misses", n), missDesc)
+	}
 	g.Counter(&s.Upgrades, "upgrades", "S->M ownership upgrades")
-	g.Counter(&s.Invalidations, "invalidations", "L1 lines invalidated by other cores")
-	g.Counter(&s.Writebacks, "writebacks", "dirty L1 evictions")
+	g.Counter(&s.Invalidations, "invalidations", "private-level lines invalidated by other cores")
+	g.Counter(&s.Writebacks, "writebacks", "dirty private-level evictions")
 	g.Counter(&s.RemoteDirty, "remote_dirty", "misses serviced from another core's modified line")
 }
 
-// Hierarchy is the shared two-level cache model. It is purely a timing and
+// Hierarchy is the shared N-level cache model. It is purely a timing and
 // coherence-state model: Access returns the latency of an access and
-// updates tag/directory state; values live in the Image.
+// updates tag/directory state; values live in the Image. The hierarchy is
+// inclusive — a line present at level k is present at every level outside
+// k — which is what lets the single directory at the outermost level
+// stand in for per-level coherence state.
 type Hierarchy struct {
 	cfg   Config
 	cores int
-	l1    []l1Cache
-	l2    l2Cache
+	inner []l1Cache    // innermost private level, one per core (MESI)
+	outer []outerLevel // levels 2..N, outermost last (holds the directory)
 	stats []CoreStats
 
 	lineShift uint
@@ -165,24 +265,39 @@ func NewHierarchy(cores int, cfg Config) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{cfg: cfg, cores: cores, stats: make([]CoreStats, cores)}
-	for lb := cfg.L1.LineBytes; lb > 1; lb >>= 1 {
+	for i := range h.stats {
+		h.stats[i].Level = make([]LevelStats, len(cfg.Levels))
+	}
+	for lb := cfg.Levels[0].LineBytes; lb > 1; lb >>= 1 {
 		h.lineShift++
 	}
-	h.l1 = make([]l1Cache, cores)
-	for i := range h.l1 {
-		h.l1[i] = l1Cache{
-			cfg:   cfg.L1,
-			sets:  cfg.L1.Sets(),
-			lines: make([]l1Line, cfg.L1.Sets()*cfg.L1.Ways),
+	h.inner = make([]l1Cache, cores)
+	for i := range h.inner {
+		h.inner[i] = l1Cache{
+			cfg:   cfg.Levels[0],
+			sets:  cfg.Levels[0].Sets(),
+			lines: make([]l1Line, cfg.Levels[0].Sets()*cfg.Levels[0].Ways),
 		}
 	}
-	h.l2 = l2Cache{
-		cfg:   cfg.L2,
-		sets:  cfg.L2.Sets(),
-		lines: make([]l2Line, cfg.L2.Sets()*cfg.L2.Ways),
-	}
-	for i := range h.l2.lines {
-		h.l2.lines[i].owner = -1
+	h.outer = make([]outerLevel, len(cfg.Levels)-1)
+	for j := range h.outer {
+		lcfg := cfg.Levels[j+1]
+		nbanks := 1
+		if !lcfg.Shared {
+			nbanks = cores
+		}
+		lv := outerLevel{cfg: lcfg, banks: make([]tagStore, nbanks)}
+		for b := range lv.banks {
+			lv.banks[b] = tagStore{
+				cfg:   lcfg,
+				sets:  lcfg.Sets(),
+				lines: make([]tagLine, lcfg.Sets()*lcfg.Ways),
+			}
+			for i := range lv.banks[b].lines {
+				lv.banks[b].lines[i].owner = -1
+			}
+		}
+		h.outer[j] = lv
 	}
 	return h, nil
 }
@@ -199,24 +314,54 @@ func MustHierarchy(cores int, cfg Config) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
-// Stats returns the per-core statistics accumulated so far.
+// Depth returns the number of cache levels.
+func (h *Hierarchy) Depth() int { return len(h.cfg.Levels) }
+
+// LevelConfig returns the configuration of level k (0-based, innermost
+// first).
+func (h *Hierarchy) LevelConfig(k int) CacheConfig { return h.cfg.Levels[k] }
+
+// directory returns the outermost level's single shared bank — the home
+// of the coherence directory.
+func (h *Hierarchy) directory() *tagStore { return &h.outer[len(h.outer)-1].banks[0] }
+
+// Stats returns the per-core statistics accumulated so far. The Level
+// slice aliases the live counters; treat the result as read-only.
 func (h *Hierarchy) Stats(core int) CoreStats { return h.stats[core] }
 
 // RegisterStats publishes one core's memory-system counters into g
 // (typically the machine registry's "coreN.mem" group).
 func (h *Hierarchy) RegisterStats(g *stats.Group, core int) { h.stats[core].register(g) }
 
+// LevelHits sums hits at level k (0-based) across cores.
+func (h *Hierarchy) LevelHits(k int) uint64 {
+	var t uint64
+	for i := range h.stats {
+		t += h.stats[i].Level[k].Hits.Get()
+	}
+	return t
+}
+
+// LevelMisses sums misses at level k (0-based) across cores.
+func (h *Hierarchy) LevelMisses(k int) uint64 {
+	var t uint64
+	for i := range h.stats {
+		t += h.stats[i].Level[k].Misses.Get()
+	}
+	return t
+}
+
 // TotalStats sums statistics across cores.
 func (h *Hierarchy) TotalStats() CoreStats {
-	var t CoreStats
+	t := CoreStats{Level: make([]LevelStats, len(h.cfg.Levels))}
 	for i := range h.stats {
 		s := &h.stats[i]
 		t.Loads += s.Loads
 		t.Stores += s.Stores
-		t.L1Hits += s.L1Hits
-		t.L1Misses += s.L1Misses
-		t.L2Hits += s.L2Hits
-		t.L2Misses += s.L2Misses
+		for k := range s.Level {
+			t.Level[k].Hits += s.Level[k].Hits
+			t.Level[k].Misses += s.Level[k].Misses
+		}
 		t.Upgrades += s.Upgrades
 		t.Invalidations += s.Invalidations
 		t.Writebacks += s.Writebacks
@@ -228,25 +373,25 @@ func (h *Hierarchy) TotalStats() CoreStats {
 func (h *Hierarchy) lineOf(addr int64) int64 { return addr >> h.lineShift }
 
 // Sharers returns the directory's sharer bitmask for the line containing
-// addr — the cores whose L1 may hold a copy — and whether the line is
-// present in the L2 directory at all (an absent line means the mask is
-// unknown and callers must assume every core).
+// addr — the cores whose private levels may hold a copy — and whether the
+// line is present in the directory at all (an absent line means the mask
+// is unknown and callers must assume every core).
 //
 // Note the mask is a snapshot, not a history: a write Access to the line
-// resets it to the writer alone, and an L2 eviction discards it, while
-// loads that used the line may still be in flight in some core's ROB.
-// Machine.broadcastStore therefore does NOT use it as a snoop filter —
-// doing so could skip a core holding a speculative load that must replay —
-// and relies on the exact per-core spec-load occupancy count instead (see
-// DESIGN.md, "Snoop filtering").
+// resets it to the writer alone, and a last-level eviction discards it,
+// while loads that used the line may still be in flight in some core's
+// ROB. Machine.broadcastStore therefore does NOT use it as a snoop filter
+// — doing so could skip a core holding a speculative load that must
+// replay — and relies on the exact per-core spec-load occupancy count
+// instead (see DESIGN.md, "Snoop filtering").
 func (h *Hierarchy) Sharers(addr int64) (uint64, bool) {
-	if l := h.l2.find(h.lineOf(addr)); l != nil {
+	if l := h.directory().find(h.lineOf(addr)); l != nil {
 		return l.sharers, true
 	}
 	return 0, false
 }
 
-// --- L1 helpers ---
+// --- innermost-level helpers ---
 
 func (c *l1Cache) find(line int64) *l1Line {
 	set := int(line) & (c.sets - 1)
@@ -282,9 +427,9 @@ func (c *l1Cache) touch(l *l1Line) {
 	l.lru = c.tick
 }
 
-// --- L2 helpers ---
+// --- outer-level helpers ---
 
-func (c *l2Cache) find(line int64) *l2Line {
+func (c *tagStore) find(line int64) *tagLine {
 	set := int(line) & (c.sets - 1)
 	base := set * c.cfg.Ways
 	for i := 0; i < c.cfg.Ways; i++ {
@@ -296,10 +441,10 @@ func (c *l2Cache) find(line int64) *l2Line {
 	return nil
 }
 
-func (c *l2Cache) victim(line int64) *l2Line {
+func (c *tagStore) victim(line int64) *tagLine {
 	set := int(line) & (c.sets - 1)
 	base := set * c.cfg.Ways
-	var v *l2Line
+	var v *tagLine
 	for i := 0; i < c.cfg.Ways; i++ {
 		l := &c.lines[base+i]
 		if !l.valid {
@@ -312,36 +457,137 @@ func (c *l2Cache) victim(line int64) *l2Line {
 	return v
 }
 
-func (c *l2Cache) touch(l *l2Line) {
+func (c *tagStore) touch(l *tagLine) {
 	c.tick++
 	l.lru = c.tick
 }
 
-// invalidateL1Copies removes the line from every L1 named in the sharer
-// mask (back-invalidation or coherence invalidation), charging the
-// Invalidations stat to the cores losing the line. It returns whether any
-// invalidated copy was modified.
-func (h *Hierarchy) invalidateL1Copies(line int64, sharers uint64, except int) bool {
-	dirty := false
+// dropPrivateMiddleCopies silently removes the line from core's private
+// levels beyond the innermost one (no stats: the caller accounts for the
+// coherence event itself, or the drop is the core's own eviction).
+func (h *Hierarchy) dropPrivateMiddleCopies(core int, line int64) {
+	for j := range h.outer {
+		if h.outer[j].cfg.Shared {
+			break // private levels are a prefix
+		}
+		if l := h.outer[j].banks[core].find(line); l != nil {
+			l.valid = false
+		}
+	}
+}
+
+// invalidatePrivateCopies removes the line from every private level of
+// every core named in the sharer mask (back-invalidation or coherence
+// invalidation), charging the Invalidations stat once per core losing a
+// copy and Writebacks for a modified innermost copy.
+func (h *Hierarchy) invalidatePrivateCopies(line int64, sharers uint64, except int) {
 	for c := 0; c < h.cores; c++ {
 		if c == except || sharers&(1<<uint(c)) == 0 {
 			continue
 		}
-		if l := h.l1[c].find(line); l != nil {
+		found := false
+		if l := h.inner[c].find(line); l != nil {
 			if l.state == l1Modified {
-				dirty = true
 				h.stats[c].Writebacks++
 			}
 			l.state = l1Invalid
+			found = true
+		}
+		for j := range h.outer {
+			if h.outer[j].cfg.Shared {
+				break // private levels are a prefix
+			}
+			if l := h.outer[j].banks[c].find(line); l != nil {
+				l.valid = false
+				found = true
+			}
+		}
+		if found {
 			h.stats[c].Invalidations++
 		}
 	}
-	return dirty
+}
+
+// markOuterDirty records a writeback of tag into the nearest level at or
+// beyond outer index fromOuter that holds the line along core's path.
+func (h *Hierarchy) markOuterDirty(fromOuter, core int, tag int64) {
+	for j := fromOuter; j < len(h.outer); j++ {
+		if l := h.outer[j].bank(core).find(tag); l != nil {
+			l.dirty = true
+			return
+		}
+	}
+}
+
+// evictOuter removes victim v from outer level j ahead of a refill,
+// preserving inclusion: evicting from a shared level drops the line from
+// every inner level (private copies via the directory mask), evicting
+// from one core's private bank drops only that core's inner copies —
+// silently, mirroring the innermost victim path (the directory bit goes
+// stale; a later invalidation of the stale sharer is a harmless no-op).
+func (h *Hierarchy) evictOuter(j, core int, v *tagLine) {
+	if h.outer[j].cfg.Shared {
+		mask := v.sharers
+		if j != len(h.outer)-1 {
+			// Middle shared level: the mask lives at the directory; an
+			// absent directory entry means assume every core.
+			mask = ^uint64(0)
+			if dl := h.directory().find(v.tag); dl != nil {
+				mask = dl.sharers
+			}
+		}
+		h.invalidatePrivateCopies(v.tag, mask, -1)
+		for i := 0; i < j; i++ {
+			if !h.outer[i].cfg.Shared {
+				continue
+			}
+			if l := h.outer[i].banks[0].find(v.tag); l != nil {
+				l.valid = false
+			}
+		}
+		return
+	}
+	if l := h.inner[core].find(v.tag); l != nil {
+		if l.state == l1Modified {
+			h.stats[core].Writebacks++
+		}
+		l.state = l1Invalid
+	}
+	for i := 0; i < j; i++ {
+		if l := h.outer[i].banks[core].find(v.tag); l != nil {
+			l.valid = false
+		}
+	}
+	if v.dirty {
+		// The victim's data drains outward, not to memory: dirty the next
+		// outer copy (present by inclusion).
+		h.markOuterDirty(j+1, core, v.tag)
+	}
+}
+
+// pathLatency sums the access latencies from the innermost level through
+// the directory — the cost of an ownership request that must reach the
+// coherence point.
+func (h *Hierarchy) pathLatency() int {
+	lat := h.cfg.Levels[0].Latency
+	for j := range h.outer {
+		lat += h.outer[j].cfg.Latency
+	}
+	return lat
 }
 
 // Access simulates one memory access by `core` to byte address addr and
 // returns its latency in cycles. write=true covers stores and the
 // read-for-ownership of CAS.
+//
+// The walk is generic over hierarchy depth: an access missing the
+// innermost level probes each outer level along the core's path (its own
+// private banks, then the shared levels) until the line is found or
+// memory supplies it, accumulating each probed level's latency; writes
+// additionally travel on to the directory for ownership. The fill
+// installs the line at every level between the supply point and the
+// core. With the default two-level configuration every path below
+// reduces exactly to the paper's private-L1 / shared-L2+directory model.
 func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	line := h.lineOf(addr)
 	st := &h.stats[core]
@@ -350,98 +596,151 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	} else {
 		st.Loads++
 	}
-	l1 := &h.l1[core]
+	l1 := &h.inner[core]
 	if l := l1.find(line); l != nil {
 		l1.touch(l)
 		switch {
 		case !write: // read hit in any valid state
-			st.L1Hits++
-			return h.cfg.L1.Latency
+			st.Level[0].Hits++
+			return h.cfg.Levels[0].Latency
 		case l.state == l1Modified:
-			st.L1Hits++
-			return h.cfg.L1.Latency
+			st.Level[0].Hits++
+			return h.cfg.Levels[0].Latency
 		case l.state == l1Exclusive: // silent E->M upgrade
 			l.state = l1Modified
-			st.L1Hits++
-			return h.cfg.L1.Latency
-		default: // Shared write: upgrade through directory
-			st.L1Hits++
+			st.Level[0].Hits++
+			return h.cfg.Levels[0].Latency
+		default: // Shared write: upgrade through the directory
+			st.Level[0].Hits++
 			st.Upgrades++
-			lat := h.cfg.L1.Latency + h.cfg.L2.Latency
-			if l2l := h.l2.find(line); l2l != nil {
-				h.invalidateL1Copies(line, l2l.sharers, core)
-				l2l.sharers = 1 << uint(core)
-				l2l.owner = int8(core)
-				l2l.dirty = true
-				h.l2.touch(l2l)
+			lat := h.pathLatency()
+			if dl := h.directory().find(line); dl != nil {
+				h.invalidatePrivateCopies(line, dl.sharers, core)
+				dl.sharers = 1 << uint(core)
+				dl.owner = int8(core)
+				dl.dirty = true
+				h.directory().touch(dl)
 			}
 			l.state = l1Modified
 			return lat
 		}
 	}
 
-	// L1 miss.
-	st.L1Misses++
-	lat := h.cfg.L1.Latency + h.cfg.L2.Latency
-	l2l := h.l2.find(line)
-	if l2l == nil {
-		// L2 miss: fetch from memory, install in L2 (evicting with
-		// back-invalidation to preserve inclusion).
-		st.L2Misses++
-		lat += h.cfg.MemLatency
-		v := h.l2.victim(line)
-		if v.valid {
-			h.invalidateL1Copies(v.tag, v.sharers, -1)
+	// Innermost miss: walk the outer levels until the line is found.
+	st.Level[0].Misses++
+	lat := h.cfg.Levels[0].Latency
+	hitJ := -1
+	for j := 0; j < len(h.outer); j++ {
+		lat += h.outer[j].cfg.Latency
+		if l := h.outer[j].bank(core).find(line); l != nil {
+			st.Level[j+1].Hits++
+			hitJ = j
+			break
 		}
-		*v = l2Line{tag: line, valid: true, owner: -1}
-		l2l = v
+		st.Level[j+1].Misses++
+	}
+	if write && hitJ >= 0 {
+		// A write supplied by an inner level still travels to the
+		// directory for ownership.
+		for j := hitJ + 1; j < len(h.outer); j++ {
+			lat += h.outer[j].cfg.Latency
+		}
+	}
+
+	dir := h.directory()
+	var dl *tagLine
+	if hitJ < 0 {
+		// Missed everywhere: fetch from memory and install at the
+		// directory level (evicting with back-invalidation to preserve
+		// inclusion).
+		lat += h.cfg.MemLatency
+		v := dir.victim(line)
+		if v.valid {
+			h.evictOuter(len(h.outer)-1, core, v)
+		}
+		*v = tagLine{tag: line, valid: true, owner: -1}
+		dl = v
 	} else {
-		st.L2Hits++
+		// The line is present at the directory by inclusion (the
+		// defensive install covers a stale directory after reconfiguring
+		// state by hand in tests).
+		dl = dir.find(line)
+		if dl == nil {
+			v := dir.victim(line)
+			if v.valid {
+				h.evictOuter(len(h.outer)-1, core, v)
+			}
+			*v = tagLine{tag: line, valid: true, owner: -1}
+			dl = v
+		}
 		// If another core holds the line modified, it must supply the
 		// data (and lose or downgrade its copy).
-		if l2l.owner >= 0 && int(l2l.owner) != core {
-			if ol := h.l1[l2l.owner].find(line); ol != nil && (ol.state == l1Modified || ol.state == l1Exclusive) {
+		if dl.owner >= 0 && int(dl.owner) != core {
+			if ol := h.inner[dl.owner].find(line); ol != nil && (ol.state == l1Modified || ol.state == l1Exclusive) {
 				if ol.state == l1Modified {
 					lat += h.cfg.RemoteDirtyPenalty
 					st.RemoteDirty++
-					h.stats[l2l.owner].Writebacks++
-					l2l.dirty = true
+					h.stats[dl.owner].Writebacks++
+					dl.dirty = true
 				}
 				if write {
+					// One coherence event: invalidate the owner's whole
+					// private path here, charged once, so the directory
+					// sweep below finds nothing left to count.
 					ol.state = l1Invalid
-					h.stats[l2l.owner].Invalidations++
+					h.dropPrivateMiddleCopies(int(dl.owner), line)
+					h.stats[dl.owner].Invalidations++
 				} else {
 					ol.state = l1Shared
 				}
 			}
 			if !write {
-				l2l.owner = -1
+				dl.owner = -1
 			}
 		}
 	}
-	h.l2.touch(l2l)
+	dir.touch(dl)
 
 	// Coherence action at the directory.
 	if write {
-		h.invalidateL1Copies(line, l2l.sharers, core)
-		l2l.sharers = 1 << uint(core)
-		l2l.owner = int8(core)
-		l2l.dirty = true
+		h.invalidatePrivateCopies(line, dl.sharers, core)
+		dl.sharers = 1 << uint(core)
+		dl.owner = int8(core)
+		dl.dirty = true
 	} else {
-		l2l.sharers |= 1 << uint(core)
-		if l2l.sharers != 1<<uint(core) {
-			l2l.owner = -1
+		dl.sharers |= 1 << uint(core)
+		if dl.sharers != 1<<uint(core) {
+			dl.owner = -1
 		}
 	}
 
-	// Install in L1, evicting as needed.
+	// Install the line at every middle level between the supply point and
+	// the core, evicting as needed. (A memory fetch was installed at the
+	// directory above; a directory-level hit leaves no middle levels.)
+	startJ := hitJ - 1
+	if hitJ < 0 {
+		startJ = len(h.outer) - 2
+	}
+	for j := startJ; j >= 0; j-- {
+		b := h.outer[j].bank(core)
+		if l := b.find(line); l != nil {
+			b.touch(l)
+			continue
+		}
+		v := b.victim(line)
+		if v.valid {
+			h.evictOuter(j, core, v)
+		}
+		*v = tagLine{tag: line, valid: true, owner: -1}
+		b.touch(v)
+	}
+
+	// Install in the innermost level, evicting as needed.
 	v := l1.victim(line)
 	if v.state != l1Invalid {
 		if v.state == l1Modified {
 			st.Writebacks++
-			if old := h.l2.find(v.tag); old != nil {
-				old.dirty = true
-			}
+			h.markOuterDirty(0, core, v.tag)
 		}
 		// Leave the old line's directory bit stale; a later invalidation
 		// of the stale sharer is a harmless no-op.
@@ -451,9 +750,9 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	switch {
 	case write:
 		v.state = l1Modified
-	case l2l.sharers == 1<<uint(core):
+	case dl.sharers == 1<<uint(core):
 		v.state = l1Exclusive
-		l2l.owner = int8(core)
+		dl.owner = int8(core)
 	default:
 		v.state = l1Shared
 	}

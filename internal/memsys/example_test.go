@@ -1,0 +1,39 @@
+package memsys_test
+
+import (
+	"fmt"
+
+	"sfence/internal/memsys"
+)
+
+// ExampleConfig builds a three-level hierarchy by hand: two private
+// levels backed by one shared last level that carries the directory.
+// Levels are listed innermost first; private levels must precede shared
+// ones, and the outermost level must be shared.
+func ExampleConfig() {
+	cfg := memsys.Config{
+		Levels: []memsys.CacheConfig{
+			{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, Latency: 2},                // private L1
+			{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, Latency: 6},               // private L2
+			{SizeBytes: 4 << 20, Ways: 16, LineBytes: 64, Latency: 24, Shared: true}, // shared L3 + directory
+		},
+		MemLatency:         300,
+		RemoteDirtyPenalty: 10,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	h := memsys.MustHierarchy(2, cfg)
+
+	// A cold read walks every level and memory; a re-read hits the L1.
+	cold := h.Access(0, 0, false)
+	warm := h.Access(0, 0, false)
+	fmt.Printf("levels: %d\n", h.Depth())
+	fmt.Printf("cold read:  %d cycles\n", cold)
+	fmt.Printf("warm read:  %d cycles\n", warm)
+	// Output:
+	// levels: 3
+	// cold read:  332 cycles
+	// warm read:  2 cycles
+}

@@ -1,12 +1,3 @@
-// Package memsys models the simulated memory system: a word-addressable
-// memory image holding architectural values, and a two-level cache
-// hierarchy with MESI-style invalidation that supplies access latencies.
-//
-// The simulator is timing-directed: values always live in the Image, and a
-// store's value becomes visible to other cores only when the owning core's
-// store buffer completes it (see internal/cpu). The cache hierarchy decides
-// *when* that happens and what each access costs, reproducing the latency
-// structure of the paper's SESC configuration (Table III).
 package memsys
 
 import "fmt"

@@ -135,12 +135,12 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatalf("DefaultConfig invalid: %v", err)
 	}
 	bad := DefaultConfig()
-	bad.L1.LineBytes = 48 // not a power of two
+	bad.Levels[0].LineBytes = 48 // not a power of two
 	if err := bad.Validate(); err == nil {
 		t.Error("48-byte line accepted")
 	}
 	bad = DefaultConfig()
-	bad.L2.LineBytes = 128 // mismatched line sizes
+	bad.Levels[1].LineBytes = 128 // mismatched line sizes
 	if err := bad.Validate(); err == nil {
 		t.Error("mismatched line sizes accepted")
 	}
@@ -153,11 +153,11 @@ func TestConfigValidate(t *testing.T) {
 
 func TestDefaultConfigMatchesTableIII(t *testing.T) {
 	c := DefaultConfig()
-	if c.L1.SizeBytes != 32<<10 || c.L1.Ways != 4 || c.L1.Latency != 2 {
-		t.Errorf("L1 config %+v does not match Table III", c.L1)
+	if c.Levels[0].SizeBytes != 32<<10 || c.Levels[0].Ways != 4 || c.Levels[0].Latency != 2 || c.Levels[0].Shared {
+		t.Errorf("L1 config %+v does not match Table III", c.Levels[0])
 	}
-	if c.L2.SizeBytes != 1<<20 || c.L2.Ways != 8 || c.L2.Latency != 10 {
-		t.Errorf("L2 config %+v does not match Table III", c.L2)
+	if c.Levels[1].SizeBytes != 1<<20 || c.Levels[1].Ways != 8 || c.Levels[1].Latency != 10 || !c.Levels[1].Shared {
+		t.Errorf("L2 config %+v does not match Table III", c.Levels[1])
 	}
 	if c.MemLatency != 300 {
 		t.Errorf("MemLatency = %d, want 300", c.MemLatency)
@@ -176,19 +176,19 @@ func newH(t *testing.T, cores int) *Hierarchy {
 func TestColdMissThenHit(t *testing.T) {
 	h := newH(t, 2)
 	cfg := h.Config()
-	missLat := cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency
+	missLat := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.MemLatency
 	if got := h.Access(0, 0, false); got != missLat {
 		t.Errorf("cold read latency = %d, want %d", got, missLat)
 	}
-	if got := h.Access(0, 0, false); got != cfg.L1.Latency {
-		t.Errorf("L1 hit latency = %d, want %d", got, cfg.L1.Latency)
+	if got := h.Access(0, 0, false); got != cfg.Levels[0].Latency {
+		t.Errorf("L1 hit latency = %d, want %d", got, cfg.Levels[0].Latency)
 	}
 	// Same line, different word: still an L1 hit.
-	if got := h.Access(0, 8, false); got != cfg.L1.Latency {
-		t.Errorf("same-line hit latency = %d, want %d", got, cfg.L1.Latency)
+	if got := h.Access(0, 8, false); got != cfg.Levels[0].Latency {
+		t.Errorf("same-line hit latency = %d, want %d", got, cfg.Levels[0].Latency)
 	}
 	s := h.Stats(0)
-	if s.L1Hits != 2 || s.L1Misses != 1 || s.L2Misses != 1 {
+	if s.Level[0].Hits != 2 || s.Level[0].Misses != 1 || s.Level[1].Misses != 1 {
 		t.Errorf("stats = %+v", s)
 	}
 }
@@ -197,8 +197,8 @@ func TestExclusiveReadThenWriteIsSilent(t *testing.T) {
 	h := newH(t, 2)
 	cfg := h.Config()
 	h.Access(0, 0, false) // cold read -> E
-	if got := h.Access(0, 0, true); got != cfg.L1.Latency {
-		t.Errorf("E->M write latency = %d, want silent %d", got, cfg.L1.Latency)
+	if got := h.Access(0, 0, true); got != cfg.Levels[0].Latency {
+		t.Errorf("E->M write latency = %d, want silent %d", got, cfg.Levels[0].Latency)
 	}
 	if h.Stats(0).Upgrades != 0 {
 		t.Error("silent E->M counted as directory upgrade")
@@ -211,7 +211,7 @@ func TestSharedWriteUpgradesAndInvalidates(t *testing.T) {
 	h.Access(0, 0, false) // core0 E
 	h.Access(1, 0, false) // core1 joins: both S
 	got := h.Access(0, 0, true)
-	want := cfg.L1.Latency + cfg.L2.Latency
+	want := cfg.Levels[0].Latency + cfg.Levels[1].Latency
 	if got != want {
 		t.Errorf("S->M upgrade latency = %d, want %d", got, want)
 	}
@@ -223,7 +223,7 @@ func TestSharedWriteUpgradesAndInvalidates(t *testing.T) {
 	}
 	// Core1 read now misses (L2 hit, dirty in core0's L1).
 	got = h.Access(1, 0, false)
-	want = cfg.L1.Latency + cfg.L2.Latency + cfg.RemoteDirtyPenalty
+	want = cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.RemoteDirtyPenalty
 	if got != want {
 		t.Errorf("remote-dirty read latency = %d, want %d", got, want)
 	}
@@ -234,12 +234,12 @@ func TestWriteMissInvalidatesRemoteModified(t *testing.T) {
 	cfg := h.Config()
 	h.Access(0, 0, true) // core0 M
 	got := h.Access(1, 0, true)
-	want := cfg.L1.Latency + cfg.L2.Latency + cfg.RemoteDirtyPenalty
+	want := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.RemoteDirtyPenalty
 	if got != want {
 		t.Errorf("write miss to remote-M latency = %d, want %d", got, want)
 	}
 	// Core0's copy must now be invalid: its next read misses.
-	if got := h.Access(0, 0, false); got == cfg.L1.Latency {
+	if got := h.Access(0, 0, false); got == cfg.Levels[0].Latency {
 		t.Error("stale M copy survived remote write")
 	}
 }
@@ -247,8 +247,8 @@ func TestWriteMissInvalidatesRemoteModified(t *testing.T) {
 func TestL1EvictionLRU(t *testing.T) {
 	h := newH(t, 1)
 	cfg := h.Config()
-	sets := cfg.L1.Sets()
-	line := int64(cfg.L1.LineBytes)
+	sets := cfg.Levels[0].Sets()
+	line := int64(cfg.Levels[0].LineBytes)
 	// Fill one set (4 ways), then touch way 0 again, then bring a 5th
 	// line: the LRU victim should be way 1's line, not way 0's.
 	addr := func(i int) int64 { return int64(i) * line * int64(sets) } // same set
@@ -257,10 +257,10 @@ func TestL1EvictionLRU(t *testing.T) {
 	}
 	h.Access(0, addr(0), false) // refresh line 0
 	h.Access(0, addr(4), false) // evicts line 1
-	if got := h.Access(0, addr(0), false); got != cfg.L1.Latency {
+	if got := h.Access(0, addr(0), false); got != cfg.Levels[0].Latency {
 		t.Error("recently-used line was evicted")
 	}
-	if got := h.Access(0, addr(1), false); got == cfg.L1.Latency {
+	if got := h.Access(0, addr(1), false); got == cfg.Levels[0].Latency {
 		t.Error("LRU line was not evicted")
 	}
 }
@@ -268,8 +268,8 @@ func TestL1EvictionLRU(t *testing.T) {
 func TestDirtyEvictionCountsWriteback(t *testing.T) {
 	h := newH(t, 1)
 	cfg := h.Config()
-	sets := cfg.L1.Sets()
-	line := int64(cfg.L1.LineBytes)
+	sets := cfg.Levels[0].Sets()
+	line := int64(cfg.Levels[0].LineBytes)
 	addr := func(i int) int64 { return int64(i) * line * int64(sets) }
 	h.Access(0, addr(0), true) // dirty
 	for i := 1; i <= 4; i++ {
@@ -283,15 +283,15 @@ func TestDirtyEvictionCountsWriteback(t *testing.T) {
 func TestL2BackInvalidationPreservesInclusion(t *testing.T) {
 	cfg := DefaultConfig()
 	// Tiny L2 so we can force L2 evictions easily: 2 sets, 1 way.
-	cfg.L2 = CacheConfig{SizeBytes: 128, Ways: 1, LineBytes: 64, Latency: 10}
-	cfg.L1 = CacheConfig{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2}
+	cfg.Levels[1] = CacheConfig{SizeBytes: 128, Ways: 1, LineBytes: 64, Latency: 10, Shared: true}
+	cfg.Levels[0] = CacheConfig{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2}
 	h, err := NewHierarchy(1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Access(0, 0, false)   // line 0 -> L2 set 0
 	h.Access(0, 128, false) // line 2 -> L2 set 0, evicts line 0, must back-invalidate L1
-	if got := h.Access(0, 0, false); got == cfg.L1.Latency {
+	if got := h.Access(0, 0, false); got == cfg.Levels[0].Latency {
 		t.Error("L1 kept line after L2 eviction (inclusion violated)")
 	}
 	if h.Stats(0).Invalidations == 0 {
@@ -313,7 +313,7 @@ func TestTotalStatsSums(t *testing.T) {
 	h.Access(0, 0, false)
 	h.Access(1, 4096, true)
 	tot := h.TotalStats()
-	if tot.Loads != 1 || tot.Stores != 1 || tot.L1Misses != 2 {
+	if tot.Loads != 1 || tot.Stores != 1 || tot.Level[0].Misses != 2 {
 		t.Errorf("TotalStats = %+v", tot)
 	}
 }
@@ -325,11 +325,11 @@ func TestAccessLatencyShapesProperty(t *testing.T) {
 	h := newH(t, 4)
 	cfg := h.Config()
 	legal := map[int]bool{
-		cfg.L1.Latency:                  true,
-		cfg.L1.Latency + cfg.L2.Latency: true,
-		cfg.L1.Latency + cfg.L2.Latency + cfg.RemoteDirtyPenalty:                  true,
-		cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency:                          true,
-		cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency + cfg.RemoteDirtyPenalty: true,
+		cfg.Levels[0].Latency:                                                                   true,
+		cfg.Levels[0].Latency + cfg.Levels[1].Latency:                                           true,
+		cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.RemoteDirtyPenalty:                  true,
+		cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.MemLatency:                          true,
+		cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.MemLatency + cfg.RemoteDirtyPenalty: true,
 	}
 	f := func(core uint8, rawAddr int64, write bool) bool {
 		c := int(core % 4)
@@ -342,7 +342,7 @@ func TestAccessLatencyShapesProperty(t *testing.T) {
 			t.Logf("illegal latency %d", lat)
 			return false
 		}
-		return h.Access(c, addr, write) == cfg.L1.Latency
+		return h.Access(c, addr, write) == cfg.Levels[0].Latency
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)

@@ -1,0 +1,265 @@
+package memsys
+
+import (
+	"reflect"
+	"testing"
+)
+
+// threeLevel returns a tiny, fully controllable 3-level hierarchy config:
+// 4-set L1, 8-set private L2, 16-set shared L3 with the directory.
+func threeLevel() Config {
+	return Config{
+		Levels: []CacheConfig{
+			{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2},
+			{SizeBytes: 2 << 10, Ways: 4, LineBytes: 64, Latency: 6},
+			{SizeBytes: 8 << 10, Ways: 8, LineBytes: 64, Latency: 24, Shared: true},
+		},
+		MemLatency:         300,
+		RemoteDirtyPenalty: 10,
+	}
+}
+
+func TestDepthConfigShapes(t *testing.T) {
+	for depth := 2; depth <= 4; depth++ {
+		cfg := DepthConfig(depth)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("DepthConfig(%d) invalid: %v", depth, err)
+		}
+		if cfg.Depth() != depth {
+			t.Errorf("DepthConfig(%d) has %d levels", depth, cfg.Depth())
+		}
+	}
+	if !reflect.DeepEqual(DepthConfig(2), DefaultConfig()) {
+		t.Error("DepthConfig(2) must be the Table III default exactly")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DepthConfig(5) did not panic")
+		}
+	}()
+	DepthConfig(5)
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	cases := map[string]Config{
+		"one level": {
+			Levels:     []CacheConfig{{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2, Shared: true}},
+			MemLatency: 300,
+		},
+		"shared L1": {
+			Levels: []CacheConfig{
+				{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2, Shared: true},
+				{SizeBytes: 8 << 10, Ways: 8, LineBytes: 64, Latency: 10, Shared: true},
+			},
+			MemLatency: 300,
+		},
+		"private last level": {
+			Levels: []CacheConfig{
+				{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2},
+				{SizeBytes: 8 << 10, Ways: 8, LineBytes: 64, Latency: 10},
+			},
+			MemLatency: 300,
+		},
+		"private outside shared": {
+			Levels: []CacheConfig{
+				{SizeBytes: 1 << 10, Ways: 4, LineBytes: 64, Latency: 2},
+				{SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, Latency: 6, Shared: true},
+				{SizeBytes: 8 << 10, Ways: 8, LineBytes: 64, Latency: 10, Shared: true},
+				{SizeBytes: 16 << 10, Ways: 8, LineBytes: 64, Latency: 20},
+			},
+			MemLatency: 300,
+		},
+	}
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if err := threeLevel().Validate(); err != nil {
+		t.Fatalf("threeLevel config invalid: %v", err)
+	}
+}
+
+// TestThreeLevelMissRouting walks one line through every latency shape of
+// a 3-level hierarchy: memory fetch, L1 hit, private-L2 hit after an L1
+// eviction, and shared-L3 hit after a private-L2 eviction.
+func TestThreeLevelMissRouting(t *testing.T) {
+	cfg := threeLevel()
+	h := MustHierarchy(2, cfg)
+	l1Sets := int64(cfg.Levels[0].Sets()) // 4
+	line := int64(cfg.Levels[0].LineBytes)
+	// addr(i) maps every i to L1 set 0; L2 set alternates 0/4; L3 set
+	// cycles 0/4/8/12.
+	addr := func(i int) int64 { return int64(i) * line * l1Sets }
+
+	coldLat := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.Levels[2].Latency + cfg.MemLatency
+	if got := h.Access(0, addr(0), false); got != coldLat {
+		t.Errorf("cold read latency = %d, want %d", got, coldLat)
+	}
+	if got := h.Access(0, addr(0), false); got != cfg.Levels[0].Latency {
+		t.Errorf("L1 hit latency = %d, want %d", got, cfg.Levels[0].Latency)
+	}
+	s := h.Stats(0)
+	if s.Level[0].Hits != 1 || s.Level[0].Misses != 1 || s.Level[1].Misses != 1 || s.Level[2].Misses != 1 {
+		t.Errorf("stats after cold+hit = %+v", s)
+	}
+
+	// Evict addr(0) from L1 (4 ways, same set) — the copy must survive in
+	// the private L2, so the re-read costs exactly L1+L2.
+	for i := 1; i <= 4; i++ {
+		h.Access(0, addr(i), false)
+	}
+	wantL2 := cfg.Levels[0].Latency + cfg.Levels[1].Latency
+	if got := h.Access(0, addr(0), false); got != wantL2 {
+		t.Errorf("private-L2 hit latency = %d, want %d", got, wantL2)
+	}
+	if s := h.Stats(0); s.Level[1].Hits == 0 {
+		t.Error("private-L2 hit not counted")
+	}
+
+	// Another core's hierarchy is untouched: its access to the same line
+	// hits the shared L3 (installed above), costing L1+L2+L3.
+	wantL3 := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.Levels[2].Latency
+	if got := h.Access(1, addr(0), false); got != wantL3 {
+		t.Errorf("shared-L3 hit latency for core1 = %d, want %d", got, wantL3)
+	}
+	if s := h.Stats(1); s.Level[2].Hits != 1 {
+		t.Errorf("core1 L3 hit not counted: %+v", s)
+	}
+}
+
+// TestInvalidationThroughMiddleLevel pins the coherence rule the 2-level
+// model never needed: a remote write must invalidate a core's copies in
+// ALL of its private levels, not just the innermost one.
+func TestInvalidationThroughMiddleLevel(t *testing.T) {
+	cfg := threeLevel()
+	h := MustHierarchy(2, cfg)
+	l1Sets := int64(cfg.Levels[0].Sets())
+	line := int64(cfg.Levels[0].LineBytes)
+	addr := func(i int) int64 { return int64(i) * line * l1Sets }
+
+	h.Access(0, addr(0), false) // core0: line in L1+L2+L3
+	for i := 1; i <= 4; i++ {   // evict from core0's L1, keep in its L2
+		h.Access(0, addr(i), false)
+	}
+	h.Access(1, addr(0), true) // core1 writes: core0's private copies must die
+
+	if s := h.Stats(0); s.Invalidations == 0 {
+		t.Error("middle-level invalidation not counted against core0")
+	}
+	// core0's next read must not be served by its (stale) private L2: the
+	// line now lives modified in core1's L1, so the read pays the full
+	// path to the directory plus the remote-dirty penalty.
+	want := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.Levels[2].Latency + cfg.RemoteDirtyPenalty
+	if got := h.Access(0, addr(0), false); got != want {
+		t.Errorf("read after remote write = %d, want %d (remote dirty through directory)", got, want)
+	}
+	if s := h.Stats(0); s.RemoteDirty != 1 {
+		t.Errorf("remote-dirty not counted: %+v", s)
+	}
+}
+
+// TestRemoteWriteChargesOneInvalidation pins the per-event stat
+// semantics at depth 3: a remote write that rips a modified line out of
+// a core's L1 *and* its private L2 is one coherence event and must
+// charge the victim core exactly one Invalidation (not one per level).
+func TestRemoteWriteChargesOneInvalidation(t *testing.T) {
+	cfg := threeLevel()
+	h := MustHierarchy(2, cfg)
+
+	h.Access(0, 0, true) // core0: M in L1, copies in private L2 + L3
+	h.Access(1, 0, true) // core1 write: remote-M supply path
+	if got := h.Stats(0).Invalidations; got != 1 {
+		t.Errorf("core0 Invalidations = %d after one remote write, want 1", got)
+	}
+	// core0's private-L2 copy must be gone too: its next read pays the
+	// full path to the directory (remote dirty, core1 now owns M).
+	want := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.Levels[2].Latency + cfg.RemoteDirtyPenalty
+	if got := h.Access(0, 0, false); got != want {
+		t.Errorf("read after remote write = %d, want %d", got, want)
+	}
+}
+
+// TestSharersDepth3 checks the directory accessor at depth 3: the mask
+// lives at the outermost shared level and keeps naming a core whose copy
+// only survives in a middle private level.
+func TestSharersDepth3(t *testing.T) {
+	cfg := threeLevel()
+	h := MustHierarchy(4, cfg)
+	l1Sets := int64(cfg.Levels[0].Sets())
+	line := int64(cfg.Levels[0].LineBytes)
+	addr := func(i int) int64 { return int64(i) * line * l1Sets }
+
+	if _, ok := h.Sharers(addr(0)); ok {
+		t.Fatal("untouched line present in directory")
+	}
+	h.Access(0, addr(0), false)
+	h.Access(1, addr(0), false)
+	if mask, ok := h.Sharers(addr(0)); !ok || mask != 0b11 {
+		t.Fatalf("sharers after reads = %b (present=%v), want 11", mask, ok)
+	}
+	// Evict core0's L1 copy; the private-L2 copy keeps core0 a sharer.
+	for i := 1; i <= 4; i++ {
+		h.Access(0, addr(i), false)
+	}
+	if mask, _ := h.Sharers(addr(0)); mask != 0b11 {
+		t.Fatalf("sharers after core0 L1 eviction = %b, want 11 (middle-level copy remains)", mask)
+	}
+	// A write resets the mask to the writer alone.
+	h.Access(2, addr(0), true)
+	if mask, ok := h.Sharers(addr(0)); !ok || mask != 0b100 {
+		t.Fatalf("sharers after write by core 2 = %b (present=%v), want 100", mask, ok)
+	}
+}
+
+// TestLastLevelEvictionPreservesInclusionDepth3 forces an eviction at the
+// shared last level and checks the line is back-invalidated out of both
+// private levels.
+func TestLastLevelEvictionPreservesInclusionDepth3(t *testing.T) {
+	cfg := threeLevel()
+	// Tiny 2-set direct-mapped L3 so evictions are easy to force.
+	cfg.Levels[2] = CacheConfig{SizeBytes: 128, Ways: 1, LineBytes: 64, Latency: 24, Shared: true}
+	h, err := NewHierarchy(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0, false)   // line 0 -> L3 set 0 (and L1, L2)
+	h.Access(0, 128, false) // line 2 -> L3 set 0: evicts line 0 everywhere
+	lat := h.Access(0, 0, false)
+	want := cfg.Levels[0].Latency + cfg.Levels[1].Latency + cfg.Levels[2].Latency + cfg.MemLatency
+	if lat != want {
+		t.Errorf("read after last-level eviction = %d, want full miss %d (inclusion violated)", lat, want)
+	}
+	if h.Stats(0).Invalidations == 0 {
+		t.Error("back-invalidation not counted")
+	}
+}
+
+// TestAccessLatencyShapesDepth3 is the depth-3 version of the legal-shape
+// property: every access cost is a sum of a level-walk prefix plus
+// optional memory and remote-dirty terms, and state converges.
+func TestAccessLatencyShapesDepth3(t *testing.T) {
+	cfg := threeLevel()
+	h := MustHierarchy(4, cfg)
+	l0, l1, l2 := cfg.Levels[0].Latency, cfg.Levels[1].Latency, cfg.Levels[2].Latency
+	legal := map[int]bool{
+		l0:                                    true,
+		l0 + l1:                               true,
+		l0 + l1 + l2:                          true,
+		l0 + l1 + l2 + cfg.RemoteDirtyPenalty: true,
+		l0 + l1 + l2 + cfg.MemLatency:         true,
+		l0 + l1 + l2 + cfg.MemLatency + cfg.RemoteDirtyPenalty: true,
+	}
+	for i := 0; i < 4000; i++ {
+		c := i % 4
+		write := i%3 == 0
+		a := int64((i * 7919 % 1024)) &^ 7
+		lat := h.Access(c, a, write)
+		if !legal[lat] {
+			t.Fatalf("illegal latency %d for core %d addr %d write %v", lat, c, a, write)
+		}
+		if h.Access(c, a, write) != l0 {
+			t.Fatalf("second identical access by core %d to %d not an L1 hit", c, a)
+		}
+	}
+}

@@ -181,6 +181,11 @@ func Experiments() []ExperimentSpec {
 			(*exp.Session).Figure16,
 			func(su *Suite, v []exp.BenchGroup) { su.Figure16 = v },
 			func(su *Suite) []exp.BenchGroup { return su.Figure16 }),
+		groupFigureSpec("fig-depth", KindFigureDepth, "BENCH_DEPTH.json",
+			"Depth sweep — Varying memory-hierarchy depth (2/3/4 levels)",
+			(*exp.Session).FigureDepth,
+			func(su *Suite, v []exp.BenchGroup) { su.FigureDepth = v },
+			func(su *Suite) []exp.BenchGroup { return su.FigureDepth }),
 	}
 	for _, a := range AblationSpecs() {
 		specs = append(specs, ablationExperimentSpec(a))

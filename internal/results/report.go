@@ -163,6 +163,37 @@ func Claims() []Claim {
 			},
 		},
 		{
+			Kind: KindFigureDepth,
+			Text: "(beyond the paper) S-Fence's advantage is a property of fence " +
+				"semantics, not hierarchy shape: scoped fences never lose to " +
+				"traditional fences on 2-, 3-, or 4-level memory hierarchies.",
+			Check: func(s *Suite) (string, bool) {
+				ok := len(s.FigureDepth) == 8
+				worst := map[string]float64{}
+				for _, g := range s.FigureDepth {
+					byLabel := map[string]exp.Bar{}
+					for _, b := range g.Bars {
+						byLabel[b.Label] = b
+					}
+					noise := 0.05
+					if g.Bench == "ptc" {
+						noise = 0.10
+					}
+					for _, d := range []string{"2", "3", "4"} {
+						T, S := byLabel[d+"T"], byLabel[d+"S"]
+						if T.Total() == 0 || S.Total() > T.Total()+noise {
+							ok = false
+						}
+						if r := S.Total() / T.Total(); r > worst[d] {
+							worst[d] = r
+						}
+					}
+				}
+				return fmt.Sprintf("worst S/T: depth2=%.3f depth3=%.3f depth4=%.3f",
+					worst["2"], worst["3"], worst["4"]), ok
+			},
+		},
+		{
 			Kind: KindHardwareCost,
 			Text: "The S-Fence hardware costs less than 80 bytes of storage per core " +
 				"for the Table III configuration.",
@@ -243,6 +274,17 @@ func (s *Suite) ExperimentsMD() string {
 	section(kindTitles[KindFigure14], exp.RenderGroups("Figure 14 — Class scope vs. set scope", s.Figure14))
 	section(kindTitles[KindFigure15], exp.RenderGroups("Figure 15 — Varying memory access latency", s.Figure15))
 	section(kindTitles[KindFigure16], exp.RenderGroups("Figure 16 — Varying ROB size", s.Figure16))
+	section(kindTitles[KindFigureDepth], exp.RenderGroups("Depth sweep — Varying memory-hierarchy depth (2/3/4 levels)", s.FigureDepth))
+	sb.WriteString("The depth sweep generalizes Figure 15's sensitivity study from latencies to " +
+		"hierarchy *shape*: every Table IV benchmark runs on the canonical 2-, 3-, and 4-level " +
+		"hierarchies of `memsys.DepthConfig`, normalized per benchmark to the 2-level " +
+		"traditional run. Deeper hierarchies pay a slower last level on shared-data misses, " +
+		"which stretches the store-buffer drain a traditional fence must wait out — so the " +
+		"absolute fence-stall bars grow with depth while S-Fence, which skips out-of-scope " +
+		"stores entirely, keeps most of its bar flat. The S/T gap therefore persists (and " +
+		"typically widens) with depth, the same qualitative conclusion as the paper's " +
+		"latency sweep: the fence-stall cost S-Fence removes scales with the memory system, " +
+		"not with the fence count.\n\n")
 
 	sb.WriteString("## Ablations (beyond the paper)\n\n")
 	for _, set := range s.Ablations {

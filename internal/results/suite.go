@@ -39,6 +39,7 @@ type Suite struct {
 	Figure14     []exp.BenchGroup
 	Figure15     []exp.BenchGroup
 	Figure16     []exp.BenchGroup
+	FigureDepth  []exp.BenchGroup
 	Ablations    []AblationSet
 	HardwareCost exp.HardwareCostReport
 	TableIII     []exp.TableIIIRow

@@ -198,7 +198,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		byID[s.ID] = s
 	}
 	want := []string{
-		"fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig-depth",
 		"ablation/fsb-entries", "ablation/fss-depth", "ablation/store-buffer",
 		"ablation/fifo-store-buffer", "ablation/finer-fences",
 		"ablation/nested-scopes", "ablation/fss-recovery",
@@ -220,6 +220,9 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if !byID["fig12"].InSuite() || byID["fig12"].Artifact != "BENCH_FIG12.json" {
 		t.Errorf("fig12 spec malformed: %+v", byID["fig12"])
+	}
+	if !byID["fig-depth"].InSuite() || byID["fig-depth"].Artifact != "BENCH_DEPTH.json" {
+		t.Errorf("fig-depth spec malformed: %+v", byID["fig-depth"])
 	}
 }
 

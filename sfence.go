@@ -44,8 +44,14 @@ type (
 	// CoreConfig holds the out-of-order core and S-Fence hardware
 	// parameters (ROB, store buffer, FSB/FSS sizes, speculation).
 	CoreConfig = cpu.Config
-	// MemConfig holds the cache-hierarchy parameters.
+	// MemConfig holds the cache-hierarchy parameters: an ordered list of
+	// cache levels (innermost first, private prefix then shared suffix;
+	// the outermost shared level holds the directory) plus memory
+	// latencies.
 	MemConfig = memsys.Config
+	// MemLevelConfig describes one cache level of the hierarchy
+	// (size, ways, line, latency, private vs. shared).
+	MemLevelConfig = memsys.CacheConfig
 	// Thread names a program entry point plus initial registers.
 	Thread = machine.Thread
 	// Machine is a running simulation instance.
@@ -190,6 +196,12 @@ const (
 // 8-core out-of-order CMP with a 128-entry ROB, 32 KB L1 / 1 MB L2 /
 // 300-cycle memory, and 4-entry FSB and FSS.
 func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// DepthMemConfig returns the canonical N-level memory hierarchy of the
+// fig-depth sweep (2 = the Table III two-level default, 3 and 4 add
+// progressively deeper private/shared levels). Assign it to Config.Mem to
+// run any benchmark on a deeper hierarchy (sfence-sim -depth).
+func DepthMemConfig(depth int) MemConfig { return memsys.DepthConfig(depth) }
 
 // NewBuilder returns an empty program builder.
 func NewBuilder() *Builder { return isa.NewBuilder() }
@@ -382,6 +394,7 @@ const (
 	KindFigure14     = results.KindFigure14
 	KindFigure15     = results.KindFigure15
 	KindFigure16     = results.KindFigure16
+	KindFigureDepth  = results.KindFigureDepth
 	KindAblations    = results.KindAblations
 	KindTableIII     = results.KindTableIII
 	KindTableIV      = results.KindTableIV
