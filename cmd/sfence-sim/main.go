@@ -9,6 +9,8 @@
 //	sfence-sim -bench pst -timeout 2s   # time-box the simulation
 //	sfence-sim -bench wsq -stats        # full hierarchical stats snapshot
 //	sfence-sim -bench wsq -stats-json   # the same snapshot as JSON
+//	sfence-sim -gen 149                 # replay fuzz scenario 149 differentially
+//	sfence-sim -gen 149 -gen-dump set   # print its set-scoped disassembly
 //	sfence-sim -list
 //
 // The run is cancellable: Ctrl-C (or the -timeout deadline) stops the
@@ -46,11 +48,24 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the full hierarchical stats snapshot (every registered counter)")
 		statsJSON = flag.Bool("stats-json", false, "emit the stats snapshot as JSON on stdout (implies quiet summary)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
+		genSeed   = flag.Int64("gen", 0, "replay the generated fuzz scenario with this seed through the full differential check (ignores -bench)")
+		genDump   = flag.String("gen-dump", "", "with -gen: print the named fence variant's disassembly (traditional | class | set) instead of checking")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(sfence.RenderTableIV())
+		return
+	}
+
+	genSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "gen" {
+			genSet = true
+		}
+	})
+	if genSet {
+		runGenerated(*genSeed, *genDump, *depth)
 		return
 	}
 
@@ -156,4 +171,40 @@ func main() {
 			}
 		}
 	}
+}
+
+// runGenerated replays one generated fuzz scenario standalone: either
+// dumping a variant's disassembly or running the full differential check
+// (SC oracle vs machine, three fence variants, naive vs event-driven
+// clocks, the requested hierarchy depths). This is the bridge from a
+// fuzzer-found seed to a debuggable standalone reproduction.
+func runGenerated(seed int64, dump string, depth int) {
+	if dump != "" {
+		asm, threads, err := sfence.GeneratedScenario(seed, dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("# generated scenario seed=%d variant=%s threads=%d\n", seed, dump, threads)
+		fmt.Print(asm)
+		return
+	}
+	var depths []int
+	if depth > 0 {
+		depths = []int{depth}
+	}
+	rep, err := sfence.CheckGenerated(seed, depths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario seed:      %d\n", rep.Seed)
+	fmt.Printf("threads:            %d\n", rep.Threads)
+	fmt.Printf("instructions:       traditional=%d class=%d set=%d\n", rep.Insts[0], rep.Insts[1], rep.Insts[2])
+	fmt.Printf("oracle steps:       %d\n", rep.OracleSteps)
+	fmt.Printf("%-14s %6s %10s %12s %14s\n", "variant", "depth", "cycles", "slow-ticks", "skipped-cycles")
+	for _, r := range rep.Runs {
+		fmt.Printf("%-14s %6d %10d %12d %14d\n", r.Variant, r.Depth, r.Cycles, r.SlowTicks, r.SkippedCycles)
+	}
+	fmt.Println("differential:       PASSED")
 }

@@ -1,9 +1,13 @@
 // Golden determinism test: a committed checksum of (final cycles, retired
 // instructions, fence idle cycles) for every Table IV kernel at Quick
-// scale. The simulator is fully deterministic, so these numbers must never
-// move unless the timing model itself is deliberately changed — any
-// accidental perturbation (a reordered scan, a broken fast-forward credit,
-// an off-by-one in a latency) fails loudly here.
+// scale — on the Table III default machine AND a depth-3 hierarchy — plus
+// (cycles, outcome) for every litmus test on its default configuration.
+// The simulator is fully deterministic, so these numbers must never move
+// unless the timing model itself is deliberately changed — any accidental
+// perturbation (a reordered scan, a broken fast-forward credit, an
+// off-by-one in a latency) fails loudly here. This is the regression net
+// the differential fuzzer inherits: a fuzz-found fix that perturbs timing
+// shows up here, not just in the fuzzer's own pass/fail.
 //
 // Regenerate after an intentional timing change with:
 //
@@ -20,6 +24,9 @@ import (
 	"testing"
 
 	"sfence"
+	"sfence/internal/isa"
+	"sfence/internal/litmus"
+	"sfence/internal/machine"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_quick.json from the current simulator")
@@ -30,6 +37,21 @@ type goldenRecord struct {
 	Committed  uint64 `json:"committed"`
 	FenceIdle  uint64 `json:"fenceIdleCycles"`
 	CoreCycles uint64 `json:"coreCycles"`
+}
+
+// litmusRecord pins one litmus test's timing and observed outcome on its
+// default machine configuration.
+type litmusRecord struct {
+	Cycles  int64    `json:"cycles"`
+	Outcome [4]int64 `json:"outcome"`
+}
+
+// goldenFile is the committed golden schema: per-kernel records keyed
+// bench -> mode (default machine) and bench -> mode@depth3 (three-level
+// hierarchy), plus per-litmus-test records keyed by test name.
+type goldenFile struct {
+	Kernels map[string]map[string]goldenRecord `json:"kernels"`
+	Litmus  map[string]litmusRecord            `json:"litmus"`
 }
 
 const goldenPath = "testdata/golden_quick.json"
@@ -50,24 +72,75 @@ func goldenCases() map[string]sfence.BenchmarkOptions {
 	return cases
 }
 
-func measureGolden(t *testing.T) map[string]map[string]goldenRecord {
+// goldenLitmusTests returns the litmus set the golden file pins, in a
+// deterministic construction.
+func goldenLitmusTests() []*litmus.Test {
+	return []*litmus.Test{
+		litmus.StoreBuffering(false, isa.ScopeGlobal),
+		litmus.StoreBuffering(true, isa.ScopeGlobal),
+		litmus.StoreBuffering(true, isa.ScopeSet),
+		litmus.MessagePassing(false),
+		litmus.MessagePassing(true),
+		litmus.LoadBuffering(),
+		litmus.IRIW(),
+		litmus.ClassScopedSB(),
+		litmus.ScopedSBLeaky(),
+		litmus.SBWithStoreStoreFence(),
+		litmus.MessagePassingSS(isa.ScopeGlobal),
+		litmus.MessagePassingSS(isa.ScopeClass),
+		litmus.CASIncrement(4, 16),
+		litmus.CoWW(),
+		litmus.MessagePassingFiner(),
+	}
+}
+
+func measureGolden(t *testing.T) goldenFile {
 	t.Helper()
-	out := map[string]map[string]goldenRecord{}
+	out := goldenFile{
+		Kernels: map[string]map[string]goldenRecord{},
+		Litmus:  map[string]litmusRecord{},
+	}
+	configs := map[string]sfence.Config{
+		"":        sfence.DefaultConfig(),
+		"@depth3": func() sfence.Config { c := sfence.DefaultConfig(); c.Mem = sfence.DepthMemConfig(3); return c }(),
+	}
 	for key, opts := range goldenCases() {
 		bench := key[:len(key)-len("/"+opts.Mode.String())]
-		res, err := sfence.RunBenchmark(bench, opts, sfence.DefaultConfig())
+		for suffix, cfg := range configs {
+			res, err := sfence.RunBenchmark(bench, opts, cfg)
+			if err != nil {
+				t.Fatalf("%s%s: %v", key, suffix, err)
+			}
+			if out.Kernels[bench] == nil {
+				out.Kernels[bench] = map[string]goldenRecord{}
+			}
+			out.Kernels[bench][opts.Mode.String()+suffix] = goldenRecord{
+				Cycles:     res.Cycles,
+				Committed:  res.Stats.Committed,
+				FenceIdle:  res.FenceStall,
+				CoreCycles: res.CoreCycles,
+			}
+		}
+	}
+	for _, lt := range goldenLitmusTests() {
+		cfg := litmus.DefaultMachineConfig()
+		m, err := machine.New(cfg, lt.Program, lt.Threads)
 		if err != nil {
-			t.Fatalf("%s: %v", key, err)
+			t.Fatalf("litmus %s: %v", lt.Name, err)
 		}
-		if out[bench] == nil {
-			out[bench] = map[string]goldenRecord{}
+		cycles, err := m.Run(nil)
+		if err != nil {
+			t.Fatalf("litmus %s: %v", lt.Name, err)
 		}
-		out[bench][opts.Mode.String()] = goldenRecord{
-			Cycles:     res.Cycles,
-			Committed:  res.Stats.Committed,
-			FenceIdle:  res.FenceStall,
-			CoreCycles: res.CoreCycles,
-		}
+		var o litmus.Outcome
+		o.R[0] = m.Image().Load(litmus.AddrR1)
+		o.R[1] = m.Image().Load(litmus.AddrR2)
+		o.R[2] = m.Image().Load(litmus.AddrR3)
+		o.R[3] = m.Image().Load(litmus.AddrR4)
+		// Golden pins timing and the observed outcome; whether an outcome
+		// is *allowed* is the litmus suite's job (the fence-less variants
+		// here exist precisely to exhibit the relaxed outcome).
+		out.Litmus[lt.Name] = litmusRecord{Cycles: cycles, Outcome: o.R}
 	}
 	return out
 }
@@ -92,19 +165,19 @@ func TestGoldenDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
 	}
-	var want map[string]map[string]goldenRecord
+	var want goldenFile
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatalf("corrupt golden file: %v", err)
 	}
 
 	var benches []string
-	for b := range want {
+	for b := range want.Kernels {
 		benches = append(benches, b)
 	}
 	sort.Strings(benches)
 	for _, bench := range benches {
-		for mode, w := range want[bench] {
-			g, ok := got[bench][mode]
+		for mode, w := range want.Kernels[bench] {
+			g, ok := got.Kernels[bench][mode]
 			if !ok {
 				t.Errorf("%s/%s: in golden file but not measured", bench, mode)
 				continue
@@ -114,13 +187,28 @@ func TestGoldenDeterminism(t *testing.T) {
 			}
 		}
 	}
-	// Both directions: a case added to goldenCases without regenerating
-	// the file must fail as unpinned, not pass silently.
-	for bench, modes := range got {
+	for name, w := range want.Litmus {
+		g, ok := got.Litmus[name]
+		if !ok {
+			t.Errorf("litmus %s: in golden file but not measured", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("litmus %s: perturbed:\n  golden   %+v\n  measured %+v\n(if this change is intentional, regenerate with -update-golden)", name, w, g)
+		}
+	}
+	// Both directions: a case added to the measurement set without
+	// regenerating the file must fail as unpinned, not pass silently.
+	for bench, modes := range got.Kernels {
 		for mode := range modes {
-			if _, ok := want[bench][mode]; !ok {
+			if _, ok := want.Kernels[bench][mode]; !ok {
 				t.Errorf("%s/%s: measured but missing from golden file (regenerate with -update-golden)", bench, mode)
 			}
+		}
+	}
+	for name := range got.Litmus {
+		if _, ok := want.Litmus[name]; !ok {
+			t.Errorf("litmus %s: measured but missing from golden file (regenerate with -update-golden)", name)
 		}
 	}
 }

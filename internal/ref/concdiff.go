@@ -1,0 +1,241 @@
+package ref
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+	"sfence/internal/stats"
+)
+
+// concOracleMaxSteps bounds the round-robin oracle. Generated scenarios
+// terminate by construction; hitting this limit is a generator or
+// interpreter bug and fails the check loudly.
+const concOracleMaxSteps = 4_000_000
+
+// concMaxCycles bounds each machine run of the checker. Far above any
+// generated scenario's real runtime, far below DefaultMaxCycles so a
+// livelock inside the fuzzer fails in seconds, not minutes.
+const concMaxCycles = 50_000_000
+
+// ConcRun records one (variant, depth) machine execution of a scenario.
+type ConcRun struct {
+	Variant Variant
+	Depth   int
+	Cycles  int64
+	// Two-speed clock accounting of the event-driven run (the naive run
+	// is pure slow ticks by definition).
+	SlowTicks     int64
+	SkippedCycles int64
+}
+
+// ConcReport summarizes one CheckConcurrent pass over a scenario.
+type ConcReport struct {
+	Seed        int64
+	Threads     int
+	Insts       [NumVariants]int // instruction count per variant
+	OracleSteps int
+	Runs        []ConcRun
+}
+
+// concMachineConfig returns the machine configuration the checker runs a
+// scenario under: one core per thread, a hierarchy of the given depth, a
+// 1 MiB image covering the scenario's footprint, and a tight cycle bound.
+func concMachineConfig(threads, depth int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = threads
+	cfg.Mem = memsys.DepthConfig(depth)
+	cfg.ImageSize = 1 << 20
+	cfg.MaxCycles = concMaxCycles
+	return cfg
+}
+
+// newConcMachine builds a machine for one variant of cp at the given
+// hierarchy depth, with the scenario's initial registers and memory.
+func newConcMachine(cp *ConcProgram, v Variant, depth int) (*machine.Machine, error) {
+	threads := make([]machine.Thread, cp.NumThreads)
+	for t := range threads {
+		threads[t] = machine.Thread{Entry: ConcEntry(t), Regs: cp.Regs[t]}
+	}
+	m, err := machine.New(concMachineConfig(cp.NumThreads, depth), cp.Variants[v], threads)
+	if err != nil {
+		return nil, fmt.Errorf("ref: machine for variant %v depth %d: %w", v, depth, err)
+	}
+	for addr, val := range cp.Mem {
+		m.Image().Store(addr, val)
+	}
+	return m, nil
+}
+
+// naiveRunMachine drives m with per-cycle stepping (the pre-event-driven
+// loop), mirroring the naive side of the clock-equivalence suite.
+func naiveRunMachine(m *machine.Machine) (int64, error) {
+	for !m.Done() {
+		if err := m.Fault(); err != nil {
+			return m.Cycle(), err
+		}
+		if m.Cycle() >= concMaxCycles {
+			return m.Cycle(), fmt.Errorf("ref: naive run exceeded %d cycles", int64(concMaxCycles))
+		}
+		m.Step()
+	}
+	return m.Cycle(), nil
+}
+
+// snapshotSansClock strips the "machine.clock." subtree: clock accounting
+// describes how a run was driven, so it legitimately differs between the
+// naive and event-driven clocks while every simulated stat must not.
+func snapshotSansClock(s stats.Snapshot) stats.Snapshot {
+	out := stats.Snapshot{Schema: s.Schema}
+	for _, smp := range s.Samples {
+		if strings.HasPrefix(smp.Name, "machine.clock.") {
+			continue
+		}
+		out.Samples = append(out.Samples, smp)
+	}
+	return out
+}
+
+// bitIdentical asserts the naive and event-driven runs of the same
+// (variant, depth) machine are indistinguishable: same cycle count, same
+// full stats registry (modulo the clock's own drive accounting), all 64
+// registers of every core, and the entire memory image. This is the
+// clock-equivalence suite's property, promoted to a generative one.
+func bitIdentical(label string, naive, event *machine.Machine, nc, ec int64) error {
+	if nc != ec {
+		return fmt.Errorf("%s: cycle count diverged: naive %d, event-driven %d", label, nc, ec)
+	}
+	sn, se := snapshotSansClock(naive.StatsSnapshot()), snapshotSansClock(event.StatsSnapshot())
+	if !sn.Equal(se) {
+		for i := range sn.Samples {
+			if i < len(se.Samples) && sn.Samples[i] != se.Samples[i] {
+				return fmt.Errorf("%s: stat %s diverged: naive %+v, event %+v",
+					label, sn.Samples[i].Name, sn.Samples[i], se.Samples[i])
+			}
+		}
+		return fmt.Errorf("%s: stats snapshots diverged (%d vs %d samples)", label, len(sn.Samples), len(se.Samples))
+	}
+	for i := 0; i < naive.Cores(); i++ {
+		cn, ce := naive.Core(i), event.Core(i)
+		for r := 0; r < isa.NumRegs; r++ {
+			if cn.Reg(isa.Reg(r)) != ce.Reg(isa.Reg(r)) {
+				return fmt.Errorf("%s: core %d R%d diverged: naive %d, event %d",
+					label, i, r, cn.Reg(isa.Reg(r)), ce.Reg(isa.Reg(r)))
+			}
+		}
+	}
+	ni, ei := naive.Image().Snapshot(), event.Image().Snapshot()
+	if len(ni) != len(ei) {
+		return fmt.Errorf("%s: image sizes diverged: %d vs %d words", label, len(ni), len(ei))
+	}
+	for w := range ni {
+		if ni[w] != ei[w] {
+			return fmt.Errorf("%s: image word %d (addr %d) diverged: naive %d, event %d",
+				label, w, 8*w, ni[w], ei[w])
+		}
+	}
+	return nil
+}
+
+// checkAgainstOracle compares the checked projection of a finished
+// machine run against the oracle's: per-thread data registers R1-R12 and
+// every word of the scenario's shared-memory footprint. Scratch registers
+// (R13-R19 and the loop counters) are interleaving-dependent — a CAS
+// retry loop legitimately observes different intermediate values under
+// different timings — so they are excluded by design; everything the
+// generator's determinacy argument covers is compared exactly.
+func checkAgainstOracle(label string, m *machine.Machine, oracle *ConcState, threads int) error {
+	for t := 0; t < threads; t++ {
+		for r := isa.R1; r <= isa.R12; r++ {
+			got, want := m.Core(t).Reg(r), oracle.Threads[t].Regs[r]
+			if got != want {
+				return fmt.Errorf("%s: thread %d R%d = %d, oracle says %d", label, t, r, got, want)
+			}
+		}
+	}
+	for addr := int64(concCounterBase); addr < concMemEnd(threads); addr += 8 {
+		got, want := m.Image().Load(addr), oracle.Mem[addr]
+		if got != want {
+			return fmt.Errorf("%s: mem[%d] = %d, oracle says %d", label, addr, got, want)
+		}
+	}
+	return nil
+}
+
+// CheckConcurrent generates the scenario for seed and differentially
+// checks it end to end:
+//
+//  1. the round-robin SC oracle (RunConc) executes the traditional
+//     variant — fences are functionally transparent there, so one oracle
+//     run covers all three lowerings;
+//  2. for every hierarchy depth in depths and every fence variant, the
+//     full machine runs the scenario twice — naive per-cycle stepping and
+//     the two-speed event-driven clock — and the two runs must be
+//     bit-identical (cycles, full stats registry, all registers, whole
+//     image);
+//  3. each machine run's checked projection (per-thread R1-R12 plus the
+//     scenario's memory footprint) must equal the oracle's exactly.
+//
+// Step 3 against the one shared oracle transitively forces all variants
+// and all depths to agree on final architectural state — the paper's
+// semantics-preservation claim — while allowing them to differ on every
+// timing observable. Any divergence returns a descriptive error; nil
+// means the scenario passed everywhere.
+func CheckConcurrent(seed int64, depths []int) (*ConcReport, error) {
+	cp := GenConcurrent(seed)
+	rep := &ConcReport{Seed: seed, Threads: cp.NumThreads}
+	for v := Variant(0); v < NumVariants; v++ {
+		rep.Insts[v] = len(cp.Variants[v].Code)
+	}
+
+	entries := make([]string, cp.NumThreads)
+	for t := range entries {
+		entries[t] = ConcEntry(t)
+	}
+	oracle, err := RunConc(cp.Variants[VariantTraditional], entries, cp.Regs, cp.Mem, concOracleMaxSteps)
+	if err != nil {
+		return rep, fmt.Errorf("seed %d: oracle failed on a guaranteed-terminating scenario: %w", seed, err)
+	}
+	rep.OracleSteps = oracle.Steps
+
+	for _, depth := range depths {
+		for v := Variant(0); v < NumVariants; v++ {
+			label := fmt.Sprintf("seed %d variant %v depth %d", seed, v, depth)
+			mN, err := newConcMachine(cp, v, depth)
+			if err != nil {
+				return rep, err
+			}
+			mE, err := newConcMachine(cp, v, depth)
+			if err != nil {
+				return rep, err
+			}
+			nc, err := naiveRunMachine(mN)
+			if err != nil {
+				return rep, fmt.Errorf("%s: naive run: %w", label, err)
+			}
+			ec, err := mE.Run(context.Background())
+			if err != nil {
+				return rep, fmt.Errorf("%s: event-driven run: %w", label, err)
+			}
+			if err := bitIdentical(label, mN, mE, nc, ec); err != nil {
+				return rep, err
+			}
+			if err := checkAgainstOracle(label, mE, oracle, cp.NumThreads); err != nil {
+				return rep, err
+			}
+			cs := mE.Clock()
+			if cs.SlowTicks+cs.SkippedCycles != ec {
+				return rep, fmt.Errorf("%s: clock accounting broken: %d slow + %d skipped != %d cycles",
+					label, cs.SlowTicks, cs.SkippedCycles, ec)
+			}
+			rep.Runs = append(rep.Runs, ConcRun{
+				Variant: v, Depth: depth, Cycles: ec,
+				SlowTicks: cs.SlowTicks, SkippedCycles: cs.SkippedCycles,
+			})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,81 @@
+package ref
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+)
+
+// ConcState is the architectural state of a round-robin, sequentially-
+// consistent execution of a multi-threaded program: per-thread registers
+// plus one shared memory.
+type ConcState struct {
+	// Threads holds each thread's register file and counters. All thread
+	// states alias the same Mem map.
+	Threads []*State
+	// Mem is the shared word-addressable memory.
+	Mem map[int64]int64
+	// Steps is the total instruction count across all threads.
+	Steps int
+}
+
+// RunConc interprets a multi-threaded program under sequential
+// consistency with a fixed round-robin schedule: one instruction per live
+// thread per round, in thread order. Threads retire by executing Halt or
+// running off the end of the code; the interpreter returns once all have.
+//
+// For the determinate scenarios GenConcurrent emits, the checked
+// projection of the final state (data registers R1-R12 and the scenario's
+// memory footprint) is the same in *every* fair schedule, so this single
+// canonical interleaving is a sound oracle for the full machine's relaxed
+// executions. Fences are functionally transparent here, which is exactly
+// why the same oracle covers all three fence lowerings.
+func RunConc(prog *isa.Program, entries []string, regs []map[isa.Reg]int64, mem map[int64]int64, maxSteps int) (*ConcState, error) {
+	cs := &ConcState{Mem: make(map[int64]int64, len(mem)+16)}
+	for a, v := range mem {
+		cs.Mem[norm(a)] = v
+	}
+	pcs := make([]int, len(entries))
+	live := make([]bool, len(entries))
+	remaining := len(entries)
+	for t, entry := range entries {
+		pc, ok := prog.Entries[entry]
+		if !ok {
+			return cs, fmt.Errorf("ref: unknown entry %q", entry)
+		}
+		st := &State{Mem: cs.Mem}
+		if t < len(regs) {
+			st.seedRegs(regs[t])
+		}
+		cs.Threads = append(cs.Threads, st)
+		pcs[t] = pc
+		live[t] = true
+	}
+	for remaining > 0 {
+		for t, st := range cs.Threads {
+			if !live[t] {
+				continue
+			}
+			if cs.Steps >= maxSteps {
+				return cs, fmt.Errorf("ref: exceeded %d total steps (thread %d at pc %d)", maxSteps, t, pcs[t])
+			}
+			if pcs[t] < 0 || pcs[t] >= len(prog.Code) {
+				live[t] = false // running off the end halts
+				remaining--
+				continue
+			}
+			next, halted, err := st.step(prog.Code, pcs[t])
+			cs.Steps++
+			if err != nil {
+				return cs, fmt.Errorf("ref: thread %d: %v", t, err)
+			}
+			if halted {
+				live[t] = false
+				remaining--
+				continue
+			}
+			pcs[t] = next
+		}
+	}
+	return cs, nil
+}

@@ -20,7 +20,7 @@ func GenProgram(seed int64) (*isa.Program, map[isa.Reg]int64, map[int64]int64) {
 	rng := rand.New(rand.NewSource(seed))
 	b := isa.NewBuilder()
 	b.Entry("main")
-	g := &gen{rng: rng, b: b}
+	g := &gen{rng: rng, b: b, base: memBase, words: memWords}
 	g.block(0)
 	b.Halt()
 	prog, err := b.Build()
@@ -44,10 +44,15 @@ const (
 	memWords = 128
 )
 
+// gen emits structured random code over a private memory window. The
+// window is parameterized so the concurrent generator can expand one gen
+// per thread over disjoint per-thread regions.
 type gen struct {
 	rng    *rand.Rand
 	b      *isa.Builder
 	labels int
+	base   int64 // memory window base address
+	words  int64 // window size in words (power of two)
 }
 
 func (g *gen) dataReg() isa.Reg { return isa.Reg(1 + g.rng.Intn(12)) }
@@ -60,9 +65,9 @@ func (g *gen) label(prefix string) string {
 // address computes a bounded aligned address into R13 from a random data
 // register.
 func (g *gen) address() {
-	g.b.AndI(isa.R13, g.dataReg(), memWords-1)
+	g.b.AndI(isa.R13, g.dataReg(), g.words-1)
 	g.b.ShlI(isa.R13, isa.R13, 3)
-	g.b.AddI(isa.R13, isa.R13, memBase)
+	g.b.AddI(isa.R13, isa.R13, g.base)
 }
 
 func (g *gen) block(depth int) {

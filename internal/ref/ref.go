@@ -36,15 +36,20 @@ func (s *State) Store(addr, val int64) { s.Mem[norm(addr)] = val }
 
 func norm(addr int64) int64 { return addr &^ 7 }
 
+// seedRegs copies initial register values into the state (R0 stays zero).
+func (s *State) seedRegs(regs map[isa.Reg]int64) {
+	for r, v := range regs {
+		if r != isa.R0 {
+			s.Regs[r] = v
+		}
+	}
+}
+
 // Run interprets prog from entryPC until Halt, running off the end, or
 // maxSteps. The initial registers and memory seed the state.
 func Run(prog *isa.Program, entryPC int, regs map[isa.Reg]int64, mem map[int64]int64, maxSteps int) (*State, error) {
 	st := &State{Mem: make(map[int64]int64, len(mem)+16)}
-	for r, v := range regs {
-		if r != isa.R0 {
-			st.Regs[r] = v
-		}
-	}
+	st.seedRegs(regs)
 	for a, v := range mem {
 		st.Mem[norm(a)] = v
 	}
@@ -56,105 +61,120 @@ func Run(prog *isa.Program, entryPC int, regs map[isa.Reg]int64, mem map[int64]i
 		if pc < 0 || pc >= len(prog.Code) {
 			return st, nil // running off the end halts
 		}
-		in := prog.Code[pc]
-		st.Steps++
-		next := pc + 1
-		a := st.Regs[in.Rs1]
-		b := st.Regs[in.Rs2]
-		var v int64
-		writes := in.Writes()
-		switch in.Op {
-		case isa.OpNop:
-		case isa.OpHalt:
-			return st, nil
-		case isa.OpMovI:
-			v = in.Imm
-		case isa.OpAdd:
-			v = a + b
-		case isa.OpAddI:
-			v = a + in.Imm
-		case isa.OpSub:
-			v = a - b
-		case isa.OpMul:
-			v = a * b
-		case isa.OpDiv:
-			if b != 0 {
-				v = a / b
-			}
-		case isa.OpRem:
-			if b != 0 {
-				v = a % b
-			}
-		case isa.OpAnd:
-			v = a & b
-		case isa.OpAndI:
-			v = a & in.Imm
-		case isa.OpOr:
-			v = a | b
-		case isa.OpXor:
-			v = a ^ b
-		case isa.OpXorI:
-			v = a ^ in.Imm
-		case isa.OpShl:
-			v = a << (uint64(b) & 63)
-		case isa.OpShlI:
-			v = a << (uint64(in.Imm) & 63)
-		case isa.OpShr:
-			v = a >> (uint64(b) & 63)
-		case isa.OpShrI:
-			v = a >> (uint64(in.Imm) & 63)
-		case isa.OpSlt:
-			if a < b {
-				v = 1
-			}
-		case isa.OpSltI:
-			if a < in.Imm {
-				v = 1
-			}
-		case isa.OpSeq:
-			if a == b {
-				v = 1
-			}
-		case isa.OpLoad:
-			v = st.Load(a + in.Imm)
-		case isa.OpStore:
-			st.Store(a+in.Imm, b)
-		case isa.OpCAS:
-			addr := a + in.Imm
-			if st.Load(addr) == b {
-				st.Store(addr, st.Regs[in.Rs3])
-				v = 1
-			}
-		case isa.OpJmp:
-			next = int(in.Imm)
-		case isa.OpBeq:
-			if a == b {
-				next = int(in.Imm)
-			}
-		case isa.OpBne:
-			if a != b {
-				next = int(in.Imm)
-			}
-		case isa.OpBlt:
-			if a < b {
-				next = int(in.Imm)
-			}
-		case isa.OpBge:
-			if a >= b {
-				next = int(in.Imm)
-			}
-		case isa.OpFence:
-			st.FencesExecuted++
-		case isa.OpFsStart:
-			st.ScopeDepth++
-		case isa.OpFsEnd:
-			st.ScopeDepth--
-		default:
-			return st, fmt.Errorf("ref: unknown opcode %d at pc %d", in.Op, pc)
+		next, halted, err := st.step(prog.Code, pc)
+		if err != nil {
+			return st, err
 		}
-		if writes {
-			st.Regs[in.Rd] = v
+		if halted {
+			return st, nil
 		}
 		pc = next
 	}
+}
+
+// step executes code[pc] against the state and returns the next pc, or
+// halted for OpHalt. The caller owns pc bounds checks and step limits;
+// this is the shared single-instruction semantics behind both the
+// single-threaded Run and the round-robin concurrent interpreter RunConc.
+func (s *State) step(code []isa.Instruction, pc int) (next int, halted bool, err error) {
+	in := code[pc]
+	s.Steps++
+	next = pc + 1
+	a := s.Regs[in.Rs1]
+	b := s.Regs[in.Rs2]
+	var v int64
+	writes := in.Writes()
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		return pc, true, nil
+	case isa.OpMovI:
+		v = in.Imm
+	case isa.OpAdd:
+		v = a + b
+	case isa.OpAddI:
+		v = a + in.Imm
+	case isa.OpSub:
+		v = a - b
+	case isa.OpMul:
+		v = a * b
+	case isa.OpDiv:
+		if b != 0 {
+			v = a / b
+		}
+	case isa.OpRem:
+		if b != 0 {
+			v = a % b
+		}
+	case isa.OpAnd:
+		v = a & b
+	case isa.OpAndI:
+		v = a & in.Imm
+	case isa.OpOr:
+		v = a | b
+	case isa.OpXor:
+		v = a ^ b
+	case isa.OpXorI:
+		v = a ^ in.Imm
+	case isa.OpShl:
+		v = a << (uint64(b) & 63)
+	case isa.OpShlI:
+		v = a << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		v = a >> (uint64(b) & 63)
+	case isa.OpShrI:
+		v = a >> (uint64(in.Imm) & 63)
+	case isa.OpSlt:
+		if a < b {
+			v = 1
+		}
+	case isa.OpSltI:
+		if a < in.Imm {
+			v = 1
+		}
+	case isa.OpSeq:
+		if a == b {
+			v = 1
+		}
+	case isa.OpLoad:
+		v = s.Load(a + in.Imm)
+	case isa.OpStore:
+		s.Store(a+in.Imm, b)
+	case isa.OpCAS:
+		addr := a + in.Imm
+		if s.Load(addr) == b {
+			s.Store(addr, s.Regs[in.Rs3])
+			v = 1
+		}
+	case isa.OpJmp:
+		next = int(in.Imm)
+	case isa.OpBeq:
+		if a == b {
+			next = int(in.Imm)
+		}
+	case isa.OpBne:
+		if a != b {
+			next = int(in.Imm)
+		}
+	case isa.OpBlt:
+		if a < b {
+			next = int(in.Imm)
+		}
+	case isa.OpBge:
+		if a >= b {
+			next = int(in.Imm)
+		}
+	case isa.OpFence:
+		s.FencesExecuted++
+	case isa.OpFsStart:
+		s.ScopeDepth++
+	case isa.OpFsEnd:
+		s.ScopeDepth--
+	default:
+		return next, false, fmt.Errorf("ref: unknown opcode %d at pc %d", in.Op, pc)
+	}
+	if writes {
+		s.Regs[in.Rd] = v
+	}
+	return next, false, nil
 }

@@ -160,6 +160,50 @@ func TestLabRunCancelledProducesNothing(t *testing.T) {
 	}
 }
 
+// TestLabRunFigDepthCancelMidRun cancels the "fig-depth" experiment —
+// the depth 2/3/4 hierarchy sweep, so depth-3 simulations are in flight —
+// from its own progress callback, i.e. genuinely mid-run. Run must return
+// the context error with no result (hence nothing to write as an
+// artifact), and the same Lab must afterwards complete the experiment
+// cleanly: cancellation may not poison the session.
+func TestLabRunFigDepthCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	dir := t.TempDir()
+	lab := sfence.NewLab(
+		sfence.WithScale(sfence.Quick),
+		sfence.WithProgress(func(exp string, done, total int) {
+			// First completed simulation of the sweep: cancel with the
+			// rest still pending.
+			once.Do(cancel)
+		}),
+	)
+	res, err := lab.Run(ctx, "fig-depth")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled Run returned a partial result")
+	}
+	// No result means no artifact was encoded or written anywhere.
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(entries) != 0 {
+		t.Errorf("artifact directory not empty after cancelled run: %v", entries)
+	}
+	// The session survives: a fresh context on the same Lab runs the
+	// experiment to completion and yields an encodable artifact.
+	res2, err := lab.Run(context.Background(), "fig-depth")
+	if err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	if _, err := res2.JSON(); err != nil {
+		t.Fatalf("rerun artifact failed to encode: %v", err)
+	}
+}
+
 // TestLabRunUnknownExperiment asserts the typed error path: an unknown ID
 // returns an *ErrUnknownExperiment that names every valid ID.
 func TestLabRunUnknownExperiment(t *testing.T) {

@@ -32,6 +32,7 @@ import (
 	"sfence/internal/kernels"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/ref"
 	"sfence/internal/results"
 	"sfence/internal/stats"
 	"sfence/internal/trace"
@@ -400,3 +401,42 @@ const (
 	KindTableIV      = results.KindTableIV
 	KindHardwareCost = results.KindHardwareCost
 )
+
+// Generated-scenario differential checking (see DESIGN.md, "Differential
+// fuzzing"). CheckGenerated is the library entry behind the
+// FuzzConcDifferential fuzz target and `sfence-sim -gen <seed>`: it
+// generates the N-thread scenario for seed in its three fence lowerings
+// (traditional, class-scoped, set-scoped), executes each on the full
+// machine at every requested hierarchy depth under both the naive and
+// event-driven clocks, and differentially checks all of it against the
+// sequentially-consistent reference oracle. A nil depths slice checks the
+// default depths 2 and 3.
+func CheckGenerated(seed int64, depths []int) (*GeneratedReport, error) {
+	if len(depths) == 0 {
+		depths = []int{2, 3}
+	}
+	return ref.CheckConcurrent(seed, depths)
+}
+
+// GeneratedReport summarizes one CheckGenerated pass: scenario shape plus
+// one GeneratedRun per (variant, depth) machine execution.
+type GeneratedReport = ref.ConcReport
+
+// GeneratedRun is one (variant, depth) machine execution of a generated
+// scenario.
+type GeneratedRun = ref.ConcRun
+
+// FenceVariant identifies one fence lowering of a generated scenario.
+type FenceVariant = ref.Variant
+
+// GeneratedScenario returns the disassembly of one fence variant
+// ("traditional", "class", or "set") of the generated scenario for seed,
+// plus its thread count.
+func GeneratedScenario(seed int64, variant string) (string, int, error) {
+	v, err := ref.ParseVariant(variant)
+	if err != nil {
+		return "", 0, err
+	}
+	cp := ref.GenConcurrent(seed)
+	return cp.Variants[v].Disassemble(), cp.NumThreads, nil
+}
