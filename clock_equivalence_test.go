@@ -213,6 +213,85 @@ func TestClockEquivalenceDepth3(t *testing.T) {
 	}
 }
 
+// TestClockSpinForwardDepth3 pins the spin detector's behavior on a
+// three-level hierarchy for the kernels whose busy-waits it targets.
+// Detached (no tracer), the event-driven run must be bit-identical to the
+// naive run AND — for the kernels that actually spin in confirmable
+// periodic orbits (dekker's flag polls, wsq's empty-queue waits) — must
+// cover part of the run with spin-aware jumps. harris rides along with
+// wantSpin=false: its lock-free retry loops mutate list state every
+// iteration, so the detector correctly never confirms a periodic orbit
+// there, and the test documents that a zero is honest rather than a
+// detector failure. With a per-cycle tracer attached the machine must pin
+// the slow path instead: TracerPinned set, zero jumps of any kind, and
+// the exact same simulated outcome.
+func TestClockSpinForwardDepth3(t *testing.T) {
+	cases := []struct {
+		bench    string
+		wantSpin bool
+	}{
+		{"dekker", true},
+		{"wsq", true},
+		{"harris", false},
+	}
+	for _, tc := range cases {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			name := fmt.Sprintf("%s/%v", tc.bench, mode)
+			t.Run(name, func(t *testing.T) {
+				opts := kernels.Options{Mode: mode, Ops: quickOps[tc.bench], Workload: 2}
+				cfg := machine.DefaultConfig()
+				cfg.Mem = memsys.DepthConfig(3)
+
+				// Detached: naive vs. event-driven differential, with the
+				// spin fast path required to engage where an orbit exists.
+				_, mN := buildKernelMachine(t, tc.bench, opts, cfg)
+				_, mE := buildKernelMachine(t, tc.bench, opts, cfg)
+				nc := naiveRun(t, mN)
+				ec, err := mE.Run(context.Background())
+				if err != nil {
+					t.Fatalf("event-driven run: %v", err)
+				}
+				assertMachinesEqual(t, name, mN, mE, nc, ec)
+				cs := mE.Clock()
+				if cs.SlowTicks+cs.SkippedCycles != ec {
+					t.Errorf("clock accounting broken: %d slow + %d skipped != %d cycles", cs.SlowTicks, cs.SkippedCycles, ec)
+				}
+				if cs.SpinJumps > cs.Jumps || cs.SpinSkippedCycles > cs.SkippedCycles {
+					t.Errorf("spin accounting exceeds totals: %+v", cs)
+				}
+				if tc.wantSpin && cs.SpinJumps == 0 {
+					t.Errorf("expected spin-aware jumps on %s, got none: %+v", name, cs)
+				}
+				if cs.SpinJumps > 0 && cs.SpinSkippedCycles == 0 {
+					t.Errorf("spin jumps with zero skipped cycles: %+v", cs)
+				}
+
+				// Attached: a per-cycle tracer must pin the slow path and
+				// still produce the identical simulated outcome.
+				_, mT := buildKernelMachine(t, tc.bench, opts, cfg)
+				for i := 0; i < mT.Cores(); i++ {
+					mT.Core(i).SetTracer(countingTracer{})
+				}
+				tcyc, err := mT.Run(context.Background())
+				if err != nil {
+					t.Fatalf("traced run: %v", err)
+				}
+				assertMachinesEqual(t, name+"/traced", mN, mT, nc, tcyc)
+				ts := mT.Clock()
+				if !ts.TracerPinned {
+					t.Errorf("traced run did not report TracerPinned: %+v", ts)
+				}
+				if ts.SkippedCycles != 0 || ts.Jumps != 0 || ts.SpinJumps != 0 || ts.SpinSkippedCycles != 0 {
+					t.Errorf("traced run fast-forwarded: %+v", ts)
+				}
+				if ts.SlowTicks != tcyc {
+					t.Errorf("traced run stepped %d cycles of %d", ts.SlowTicks, tcyc)
+				}
+			})
+		}
+	}
+}
+
 // TestClockEquivalenceLitmus runs every litmus test under both clocks and
 // three machine configurations (baseline, in-window speculation, FIFO
 // store buffer), covering the snoop-replay and recovery paths.

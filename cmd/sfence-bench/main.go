@@ -24,6 +24,8 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"time"
 
 	"sfence"
 )
@@ -127,12 +129,47 @@ func main() {
 		labOpts = append(labOpts, sfence.WithCache(cache))
 	}
 	if *progress {
-		labOpts = append(labOpts, sfence.WithProgress(func(experiment string, done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d", experiment, done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}))
+		// Progress lines carry live simulator throughput and the running
+		// fence-stall share, tallied by a counter-only observer attached
+		// to every simulated machine. Observers ride the two-speed clock's
+		// fast path (skipped stall cycles arrive as bulk credits), so the
+		// instrumentation cannot change any measurement. With a run cache
+		// the simulations may not execute at all, so the instrumented
+		// runner is only installed for direct runs and cached sessions
+		// keep the plain done/total line.
+		if *cacheDir == "" {
+			obs := sfence.NewCountingObserver()
+			var simCycles, coreCycles atomic.Int64
+			start := time.Now()
+			labOpts = append(labOpts,
+				sfence.WithRunner(func(ctx context.Context, bench string, opts sfence.BenchmarkOptions, cfg sfence.Config) (sfence.BenchmarkResult, error) {
+					res, err := sfence.RunBenchmarkObserved(ctx, bench, opts, cfg, obs)
+					if err == nil {
+						simCycles.Add(res.Cycles)
+						coreCycles.Add(int64(res.CoreCycles))
+					}
+					return res, err
+				}),
+				sfence.WithProgress(func(experiment string, done, total int) {
+					rate := float64(simCycles.Load()) / time.Since(start).Seconds()
+					var share float64
+					if cc := coreCycles.Load(); cc > 0 {
+						share = float64(obs.Count(sfence.TraceFenceStall)) / float64(cc)
+					}
+					fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d  %11.0f simcyc/s  fence-stall %5.1f%%",
+						experiment, done, total, rate, share*100)
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}))
+		} else {
+			labOpts = append(labOpts, sfence.WithProgress(func(experiment string, done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d", experiment, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}))
+		}
 	}
 	lab := sfence.NewLab(labOpts...)
 

@@ -153,6 +153,12 @@ func (c *Core) FastForward(delta int64) {
 	// path.
 	if c.observer != nil && a.fenceTraces > 0 {
 		c.observer.Observe(c.id, uint8(TraceFenceStall), uint64(a.fenceTraces)*d)
+		if c.spin.phase == spinArmed {
+			// An armed spin window can contain fast-forwarded quiescent
+			// spans; their bulk-credited events belong to the window tally
+			// exactly like per-tick ones.
+			c.spin.evAt[TraceFenceStall] += uint64(a.fenceTraces) * d
+		}
 	}
 	c.cycle += delta
 }

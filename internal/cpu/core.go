@@ -171,6 +171,8 @@ type Core struct {
 	fault error
 	cycle int64
 
+	spin spinState
+
 	fenceStallSeen bool // one fence-stall count per cycle
 	robFullSeen    bool
 	sbFullSeen     bool
@@ -284,6 +286,7 @@ func (c *Core) Tick(cycle int64) {
 	if occ > c.stats.MaxROBOccupancy.Get() {
 		c.stats.MaxROBOccupancy.Set(occ)
 	}
+	c.spinObserve()
 }
 
 // --- helpers ---
@@ -350,6 +353,7 @@ func (c *Core) processSnoops() {
 		return
 	}
 	c.progressed = true
+	c.spin.events++
 	addrs := c.snoopPending
 	c.snoopPending = c.snoopPending[:0]
 	for _, addr := range addrs {
@@ -381,6 +385,7 @@ func (c *Core) completeSB() {
 		e := &c.sb[i]
 		if e.inflight && e.readyAt <= c.cycle {
 			c.progressed = true
+			c.spin.events++ // the Image mutates: never inside a stable spin
 			if c.casWaiting > 0 {
 				// Draining a store can unblock a waiting same-address
 				// CAS; nothing else in the scheduler reads the buffer in
@@ -509,6 +514,7 @@ func (c *Core) completeROB() {
 			// The read-modify-write happens atomically at completion.
 			if c.img.CompareAndSwap(e.addr, e.casOld, e.sval) {
 				e.val = 1
+				c.spin.events++ // Image mutation perturbs any spin here
 				if c.OnStoreComplete != nil {
 					c.OnStoreComplete(c.id, e.addr)
 				}
@@ -971,6 +977,7 @@ func (c *Core) tryStartLoad(e *robEntry, seq uint64) {
 	lat := c.hier.Access(c.id, e.addr, false)
 	e.val = c.img.Load(e.addr)
 	e.accessedMem = true
+	c.spinWatch(e.addr)
 	e.stage = stExecuting
 	e.readyAt = c.cycle + int64(lat)
 	c.noteExec(seq, e.readyAt)
@@ -1028,6 +1035,7 @@ func (c *Core) tryStartCAS(e *robEntry, seq uint64) {
 	e.sval = c.readSrc(e.src3, e.inst.Rs3)
 	lat := c.hier.Access(c.id, e.addr, true)
 	e.accessedMem = true
+	c.spinWatch(e.addr)
 	e.stage = stExecuting
 	e.readyAt = c.cycle + int64(lat)
 	c.casWaiting--
@@ -1042,6 +1050,7 @@ func (c *Core) squash(fromSeq uint64) {
 	}
 	c.progressed = true
 	c.schedDirty = true
+	c.spin.events++
 	// Restore the fence scope stack to its state before fromSeq decoded.
 	switch c.cfg.Recovery {
 	case RecoverySnapshot:

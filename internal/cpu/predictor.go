@@ -6,6 +6,10 @@ package cpu
 type predictor struct {
 	counters []uint8
 	mask     int
+	// ver advances whenever a counter actually changes value; a saturated
+	// update leaves it alone. The spin detector reads it: a steady spin's
+	// loop branch is fully trained, so its updates are all saturated.
+	ver uint64
 }
 
 func newPredictor(bits int) *predictor {
@@ -32,12 +36,16 @@ func (p *predictor) predict(pc, target int) bool {
 func (p *predictor) update(pc int, taken bool) {
 	i := pc & p.mask
 	c := p.counters[i]
+	n := c
 	if taken {
-		if c < 3 {
-			c++
+		if n < 3 {
+			n++
 		}
-	} else if c > 0 {
-		c--
+	} else if n > 0 {
+		n--
 	}
-	p.counters[i] = c
+	if n != c {
+		p.counters[i] = n
+		p.ver++
+	}
 }

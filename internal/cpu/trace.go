@@ -48,8 +48,13 @@ type Tracer interface {
 	Trace(cycle int64, core int, ev TraceEvent, seq uint64, in isa.Instruction, detail int64)
 }
 
-// SetTracer attaches (or detaches, with nil) a pipeline tracer.
-func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+// SetTracer attaches (or detaches, with nil) a pipeline tracer. Attaching
+// one drops any spin detection in progress: traced cores step cycle by
+// cycle.
+func (c *Core) SetTracer(t Tracer) {
+	c.tracer = t
+	c.spinReset()
+}
 
 // SetObserver attaches (or detaches, with nil) a counter-only observer.
 // The observer receives the same pipeline events a Tracer does, but only
@@ -58,11 +63,19 @@ func (c *Core) SetTracer(t Tracer) { c.tracer = t }
 // clock: the machine keeps fast-forwarding with an observer attached, and
 // FastForward credits skipped stall-cycle events in bulk (see clock.go).
 // Attaching an observer never changes simulation results.
-func (c *Core) SetObserver(o stats.Observer) { c.observer = o }
+func (c *Core) SetObserver(o stats.Observer) {
+	c.observer = o
+	c.spinReset() // event bookkeeping baseline changed; re-detect
+}
 
 func (c *Core) trace(ev TraceEvent, seq uint64, in isa.Instruction, detail int64) {
 	if c.observer != nil {
 		c.observer.Observe(c.id, uint8(ev), 1)
+		if c.spin.phase == spinArmed {
+			// Tally the armed window's events so a confirmed spin can
+			// credit the observer per skipped period.
+			c.spin.evAt[ev]++
+		}
 	}
 	if c.tracer != nil {
 		c.tracer.Trace(c.cycle, c.id, ev, seq, in, detail)

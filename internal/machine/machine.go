@@ -90,16 +90,21 @@ type Machine struct {
 // ClockStats reports how the two-speed clock spent a Run: SlowTicks is the
 // number of cycles stepped one by one, SkippedCycles the cycles covered by
 // fast-forward jumps, and Jumps the number of jumps. SlowTicks+SkippedCycles
-// equals the final cycle count. TracerPinned records that fast-forwarding
-// was disabled because a per-cycle pipeline tracer was attached — so zero
-// jumps on a traced run reads as "pinned", not "never idle". Counter-only
-// observers (see cpu.Core.SetObserver) do not pin the clock and never set
-// the flag.
+// equals the final cycle count. SpinJumps counts the jumps that carried at
+// least one core through a confirmed busy-wait spin (see cpu's spin
+// detector), and SpinSkippedCycles the cycles those jumps covered — both
+// are included in Jumps/SkippedCycles, not additional. TracerPinned
+// records that fast-forwarding was disabled because a per-cycle pipeline
+// tracer was attached — so zero jumps on a traced run reads as "pinned",
+// not "never idle". Counter-only observers (see cpu.Core.SetObserver) do
+// not pin the clock and never set the flag.
 type ClockStats struct {
-	SlowTicks     int64
-	SkippedCycles int64
-	Jumps         int64
-	TracerPinned  bool
+	SlowTicks         int64
+	SkippedCycles     int64
+	Jumps             int64
+	SpinJumps         int64
+	SpinSkippedCycles int64
+	TracerPinned      bool
 }
 
 // New builds a machine running prog with one thread per entry of threads.
@@ -139,6 +144,15 @@ func New(cfg Config, prog *isa.Program, threads []Thread) (*Machine, error) {
 		g := root.Sub(fmt.Sprintf("core%d", i))
 		core.RegisterStats(g)
 		hier.RegisterStats(g.Sub("mem"), i)
+	}
+	// Remote coherence actions (invalidations, downgrades) are reported
+	// line-by-line to the victim core's spin detector, which drops any
+	// detection whose loop reads the disturbed line. Cores beyond the
+	// thread count have no spin state worth perturbing.
+	hier.OnDisturb = func(core int, line int64) {
+		if core < len(m.cores) {
+			m.cores[core].SpinNoteLineDisturb(line)
+		}
 	}
 	m.registerMachineStats(root.Sub("machine"))
 	return m, nil
@@ -189,12 +203,25 @@ func (m *Machine) registerMachineStats(g *stats.Group) {
 	clock.Derived("slow_ticks", "cycles stepped one by one by the two-speed clock", func() uint64 { return uint64(m.clock.SlowTicks) })
 	clock.Derived("skipped_cycles", "cycles covered by fast-forward jumps", func() uint64 { return uint64(m.clock.SkippedCycles) })
 	clock.Derived("jumps", "fast-forward jumps taken", func() uint64 { return uint64(m.clock.Jumps) })
+	clock.Derived("spin_jumps", "jumps that carried at least one core through a confirmed spin", func() uint64 { return uint64(m.clock.SpinJumps) })
+	clock.Derived("spin_skipped_cycles", "cycles covered by spin-carrying jumps", func() uint64 { return uint64(m.clock.SpinSkippedCycles) })
 	clock.Derived("tracer_pinned", "1 when a per-cycle tracer disabled fast-forwarding", func() uint64 {
 		if m.clock.TracerPinned {
 			return 1
 		}
 		return 0
 	})
+	// Per-core spin accounting lives under machine.clock (not coreN.*) on
+	// purpose: spin counters describe how the clock ran, not what the
+	// simulated hardware did, and everything outside machine.clock.* must
+	// stay bit-identical between the naive and event-driven clocks.
+	for i, c := range m.cores {
+		c := c
+		clock.Derived(fmt.Sprintf("core%d_spin_jumps", i), fmt.Sprintf("spin-forward jumps applied to core %d", i),
+			c.SpinJumps)
+		clock.Derived(fmt.Sprintf("core%d_spin_skipped_cycles", i), fmt.Sprintf("cycles core %d skipped inside confirmed spins", i),
+			c.SpinSkippedCycles)
+	}
 }
 
 // StatsRegistry exposes the machine's hierarchical statistics registry.
@@ -214,9 +241,21 @@ func (m *Machine) StatsSnapshot() stats.Snapshot { return m.reg.Snapshot() }
 // unlike the directory's sharer mask — which an intervening write to the same line
 // resets while the speculative load is still in flight — it can never skip
 // a core that must replay. See DESIGN.md, "Snoop filtering".
+// Spin detection rides the same event: the store's cache access already
+// perturbed remote copies when it ISSUED (coherence traffic bumps the
+// victims' memory versions), but the Image word only changes now, at
+// completion — potentially hundreds of cycles later, with no coherence
+// action at all if the spinner re-fetched the line in between. A core
+// spinning on this address must therefore be dropped out of its confirmed
+// spin here, immediately, before the machine decides whether to jump past
+// the cycle in which the new value becomes readable.
 func (m *Machine) broadcastStore(from int, addr int64) {
 	for _, c := range m.cores {
-		if c.ID() != from && c.SpecLoadsInFlight() > 0 {
+		if c.ID() == from {
+			continue
+		}
+		c.SpinNoteRemoteStore(addr)
+		if c.SpecLoadsInFlight() > 0 {
 			c.NoteRemoteStore(addr)
 		}
 	}
@@ -246,7 +285,13 @@ func (m *Machine) Step() {
 // into the same pass, so Run does not re-walk the cores for Done/Fault
 // every cycle: it reports whether all cores are done, the first core
 // fault, and whether any core is still active (made forward progress this
-// cycle or holds undelivered snoop notifications).
+// cycle or holds undelivered snoop notifications). A core in a confirmed
+// stable spin does not count as active even though it progresses every
+// cycle — that is the whole point of spin detection. The per-core checks
+// here can be stale (a later core's tick may perturb an earlier core's
+// spin), but only toward active == true, i.e. an extra slow tick; the jump
+// block in Run re-evaluates SpinActive after all ticks and its NextWakeup
+// minimum yields a zero-length jump for any core perturbed late.
 func (m *Machine) stepCycle() (allDone bool, fault error, active bool) {
 	allDone = true
 	for _, c := range m.cores {
@@ -254,7 +299,7 @@ func (m *Machine) stepCycle() (allDone bool, fault error, active bool) {
 		if !c.Done() {
 			allDone = false
 		}
-		if c.Active() {
+		if c.Active() && !c.SpinActive() {
 			active = true
 		}
 		if fault == nil {
@@ -376,13 +421,27 @@ func (m *Machine) Run(ctx context.Context) (int64, error) {
 			m.clock.TracerPinned = true
 			continue
 		}
-		// Every core is idle: fast-forward to the earliest wakeup. A core
-		// with no scheduled event reports cpu.NeverWakes; if all do (a
-		// deadlocked program), the clamp below jumps straight to the cycle
-		// budget, where the loop reports the same livelock error — with the
-		// same statistics — the naive clock would have spun its way to.
+		// Every core is idle or in a confirmed spin: fast-forward to the
+		// earliest wakeup of a non-spinning core. A core with no scheduled
+		// event reports cpu.NeverWakes; if all do (a deadlocked or
+		// all-spinning program), the clamp below jumps straight to the
+		// cycle budget, where the loop reports the same livelock error —
+		// with the same statistics — the naive clock would have spun its
+		// way to. Spinning cores advance in whole periods only (their
+		// per-period stat deltas are what gets credited), so a jump
+		// carrying spinners is rounded down to a multiple of the combined
+		// stride; the remainder is slow-ticked by later iterations.
 		wake := cpu.NeverWakes
+		nSpin := 0
+		stride := int64(1)
 		for _, c := range m.cores {
+			if c.SpinActive() {
+				nSpin++
+				if stride > 0 {
+					stride = lcmClamped(stride, c.SpinPeriod())
+				}
+				continue
+			}
 			if w := c.NextWakeup(); w < wake {
 				wake = w
 			}
@@ -390,15 +449,52 @@ func (m *Machine) Run(ctx context.Context) (int64, error) {
 		if wake > limit {
 			wake = limit
 		}
-		if d := wake - m.cycle; d > 0 {
-			for _, c := range m.cores {
+		d := wake - m.cycle
+		if d <= 0 {
+			continue
+		}
+		if nSpin > 0 {
+			if stride <= 0 || d < stride {
+				continue // stride overflow or gap too small: slow-step it
+			}
+			d -= d % stride
+		}
+		for _, c := range m.cores {
+			if c.SpinActive() {
+				c.SpinForward(d)
+			} else {
 				c.FastForward(d)
 			}
-			m.cycle = wake
-			m.clock.SkippedCycles += d
-			m.clock.Jumps++
+		}
+		m.cycle += d
+		m.clock.SkippedCycles += d
+		m.clock.Jumps++
+		if nSpin > 0 {
+			m.clock.SpinJumps++
+			m.clock.SpinSkippedCycles += d
 		}
 	}
+}
+
+// maxSpinStride bounds the combined (least-common-multiple) period of
+// concurrently spinning cores; a pathological mix of long coprime periods
+// degrades to slow stepping instead of overflowing.
+const maxSpinStride = 1 << 20
+
+// lcmClamped returns lcm(a, b), or 0 when it would exceed maxSpinStride.
+func lcmClamped(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	g := a
+	for x := b; x != 0; {
+		g, x = x, g%x
+	}
+	l := a / g * b
+	if l > maxSpinStride {
+		return 0
+	}
+	return l
 }
 
 // TotalStats aggregates core statistics across the machine.

@@ -183,12 +183,17 @@ func TestTotalStatsAggregates(t *testing.T) {
 }
 
 // spinMachine builds a single-core machine that loops essentially forever
-// (bounded only by MaxCycles), for cancellation tests.
+// (bounded only by MaxCycles), for cancellation tests. The loop carries an
+// ever-growing counter so its architectural state never recurs: a bare
+// Jmp-to-self is a periodic orbit the spin detector confirms and
+// fast-forwards through any cycle budget in microseconds, which would let
+// MaxCycles win the race against the context every time.
 func spinMachine(t *testing.T, maxCycles int64) *Machine {
 	t.Helper()
 	b := isa.NewBuilder()
 	b.Entry("spin")
 	b.Label("l")
+	b.AddI(1, 1, 1)
 	b.Jmp("l")
 	p := b.MustBuild()
 	cfg := DefaultConfig()

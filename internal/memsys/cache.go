@@ -253,7 +253,39 @@ type Hierarchy struct {
 	outer []outerLevel // levels 2..N, outermost last (holds the directory)
 	stats []CoreStats
 
+	// ver[c] counts SELF-induced mutations of core c's view of the
+	// hierarchy: any access by c that is not an idempotent private hit
+	// (misses, ownership upgrades, LRU movement). The cpu spin detector
+	// compares it across loop iterations — a stable spin must perform
+	// only idempotent hits. Remote actions are deliberately excluded:
+	// they are reported address-by-address through OnDisturb, so a
+	// spinning core is only perturbed by remote traffic on lines its
+	// loop actually reads. Monitoring state only: not registered in the
+	// stats registry.
+	ver []uint64
+
+	// OnDisturb, when set, is called whenever a remote action
+	// (coherence invalidation, ownership downgrade, inclusive
+	// back-invalidation) touches one of core's private copies, with the
+	// line tag (see LineOf). The machine wires it to the cpu spin
+	// detectors: a disturb on a line a spin loop reads — or any disturb
+	// while a per-period statistics window is being captured, since the
+	// disturb charges Invalidations/Writebacks to this core — must drop
+	// the detection. Called synchronously from inside Access.
+	OnDisturb func(core int, line int64)
+
 	lineShift uint
+}
+
+// LineOf returns the cache line tag of a byte address — the unit at which
+// OnDisturb reports remote coherence actions.
+func (h *Hierarchy) LineOf(addr int64) int64 { return addr >> h.lineShift }
+
+// disturb reports a remote action on one of core's private copies.
+func (h *Hierarchy) disturb(core int, line int64) {
+	if h.OnDisturb != nil {
+		h.OnDisturb(core, line)
+	}
 }
 
 // NewHierarchy builds a hierarchy for the given core count.
@@ -264,7 +296,7 @@ func NewHierarchy(cores int, cfg Config) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg, cores: cores, stats: make([]CoreStats, cores)}
+	h := &Hierarchy{cfg: cfg, cores: cores, stats: make([]CoreStats, cores), ver: make([]uint64, cores)}
 	for i := range h.stats {
 		h.stats[i].Level = make([]LevelStats, len(cfg.Levels))
 	}
@@ -422,9 +454,35 @@ func (c *l1Cache) victim(line int64) *l1Line {
 	return v
 }
 
-func (c *l1Cache) touch(l *l1Line) {
+// stamp unconditionally marks l most recently used. Fills must use it:
+// the victim way's lru field is stale (the previous occupant's, or zero),
+// so the MRU shortcut in touch would mis-order a line filled into a
+// near-empty set.
+func (c *l1Cache) stamp(l *l1Line) {
 	c.tick++
 	l.lru = c.tick
+}
+
+// touch marks an already-resident line most recently used and reports
+// whether any cache state actually changed. When l is already the MRU
+// line of its set the update is skipped entirely: the recency ORDER — the
+// only thing victim selection reads — is unchanged either way (valid
+// lines carry distinct stamps, so the maximum is unique), and skipping
+// makes a steady-state hit a true no-op. That idempotence is what the
+// spin detector's stability check relies on: a core looping on L1 hits
+// leaves the hierarchy bit-identical whether the iterations run or are
+// skipped.
+func (c *l1Cache) touch(l *l1Line) bool {
+	set := int(l.tag) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		o := &c.lines[base+i]
+		if o != l && o.state != l1Invalid && o.lru > l.lru {
+			c.stamp(l)
+			return true
+		}
+	}
+	return false
 }
 
 // --- outer-level helpers ---
@@ -504,6 +562,7 @@ func (h *Hierarchy) invalidatePrivateCopies(line int64, sharers uint64, except i
 		}
 		if found {
 			h.stats[c].Invalidations++
+			h.disturb(c, line)
 		}
 	}
 }
@@ -598,7 +657,9 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	}
 	l1 := &h.inner[core]
 	if l := l1.find(line); l != nil {
-		l1.touch(l)
+		if l1.touch(l) {
+			h.ver[core]++
+		}
 		switch {
 		case !write: // read hit in any valid state
 			st.Level[0].Hits++
@@ -608,9 +669,11 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 			return h.cfg.Levels[0].Latency
 		case l.state == l1Exclusive: // silent E->M upgrade
 			l.state = l1Modified
+			h.ver[core]++
 			st.Level[0].Hits++
 			return h.cfg.Levels[0].Latency
 		default: // Shared write: upgrade through the directory
+			h.ver[core]++
 			st.Level[0].Hits++
 			st.Upgrades++
 			lat := h.pathLatency()
@@ -627,6 +690,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	}
 
 	// Innermost miss: walk the outer levels until the line is found.
+	h.ver[core]++
 	st.Level[0].Misses++
 	lat := h.cfg.Levels[0].Latency
 	hitJ := -1
@@ -677,6 +741,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 		// data (and lose or downgrade its copy).
 		if dl.owner >= 0 && int(dl.owner) != core {
 			if ol := h.inner[dl.owner].find(line); ol != nil && (ol.state == l1Modified || ol.state == l1Exclusive) {
+				h.disturb(int(dl.owner), line)
 				if ol.state == l1Modified {
 					lat += h.cfg.RemoteDirtyPenalty
 					st.RemoteDirty++
@@ -756,6 +821,6 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	default:
 		v.state = l1Shared
 	}
-	l1.touch(v)
+	l1.stamp(v)
 	return lat
 }

@@ -1,0 +1,62 @@
+package memsys
+
+import "sfence/internal/stats"
+
+// Spin-detector support: the cpu layer's spin fast-forward needs to (a)
+// observe whether a core's view of the hierarchy changed between loop
+// iterations, and (b) credit the per-core memory counters for skipped
+// iterations exactly as live iterations would have. Versions answer (a);
+// the snapshot/delta/credit trio answers (b).
+
+// CoreVersion returns core's perturbation version: it advances on every
+// hierarchy mutation that could change the core's future timing — any
+// access by the core that is not an idempotent private hit, and any
+// remote invalidation or downgrade of the core's private copies. A spin
+// iteration that leaves the version unchanged touched nothing but
+// already-MRU private lines.
+func (h *Hierarchy) CoreVersion(core int) uint64 { return h.ver[core] }
+
+// SnapshotCoreStats deep-copies core's counters (the Level slice is
+// cloned) so a caller can later take an exact delta.
+func (h *Hierarchy) SnapshotCoreStats(core int) CoreStats {
+	s := h.stats[core]
+	s.Level = append([]LevelStats(nil), s.Level...)
+	return s
+}
+
+// DeltaCoreStats returns the counter growth since anchor (which must be a
+// SnapshotCoreStats result for the same core).
+func (h *Hierarchy) DeltaCoreStats(core int, anchor CoreStats) CoreStats {
+	cur := &h.stats[core]
+	d := CoreStats{
+		Loads:         cur.Loads - anchor.Loads,
+		Stores:        cur.Stores - anchor.Stores,
+		Level:         make([]LevelStats, len(cur.Level)),
+		Upgrades:      cur.Upgrades - anchor.Upgrades,
+		Invalidations: cur.Invalidations - anchor.Invalidations,
+		Writebacks:    cur.Writebacks - anchor.Writebacks,
+		RemoteDirty:   cur.RemoteDirty - anchor.RemoteDirty,
+	}
+	for k := range cur.Level {
+		d.Level[k].Hits = cur.Level[k].Hits - anchor.Level[k].Hits
+		d.Level[k].Misses = cur.Level[k].Misses - anchor.Level[k].Misses
+	}
+	return d
+}
+
+// CreditCoreStats adds d×times into core's live counters — the memory
+// side of crediting `times` skipped spin periods.
+func (h *Hierarchy) CreditCoreStats(core int, d CoreStats, times uint64) {
+	cur := &h.stats[core]
+	t := stats.Counter(times)
+	cur.Loads += d.Loads * t
+	cur.Stores += d.Stores * t
+	for k := range cur.Level {
+		cur.Level[k].Hits += d.Level[k].Hits * t
+		cur.Level[k].Misses += d.Level[k].Misses * t
+	}
+	cur.Upgrades += d.Upgrades * t
+	cur.Invalidations += d.Invalidations * t
+	cur.Writebacks += d.Writebacks * t
+	cur.RemoteDirty += d.RemoteDirty * t
+}

@@ -92,6 +92,7 @@ const (
 	cidCounter = 1
 	cidLock    = 2
 	cidChan    = 3
+	cidDekker  = 4
 )
 
 // Shared-memory layout of generated scenarios. Counters sit 8 bytes apart
@@ -99,9 +100,16 @@ const (
 // and channels get a line-plus of separation; each thread owns a disjoint
 // private window for its random compute blocks.
 const (
+	// concTurnAddr is the dekker idiom's turn word. It sits BELOW
+	// concCounterBase on purpose: the turn's final value is whichever
+	// thread exited its last critical section first — genuinely
+	// interleaving-dependent — so it must stay outside the checked
+	// footprint while everything the idiom protects stays inside.
+	concTurnAddr    = 4032
 	concCounterBase = 4096
 	concScratchBase = 4608 // one shared line; thread t owns word t
 	concLockBase    = 5120 // lock l at +l*128; protected cells follow the lock word
+	concDekkerBase  = 5888 // flag0 at +0, flag1 at +64, protected cell at +128
 	concChanBase    = 8192 // channel e at +e*128: flag at +0, payload at +8...
 	concPrivBase    = 16384
 	concPrivWords   = 64 // private window size in words (power of two)
@@ -139,8 +147,14 @@ type ConcProgram struct {
 // terminating N-thread scenario for differential testing of the full
 // machine: thread-private compute blocks (reusing the single-threaded
 // generator), CAS counter contention on a shared line, spinlock-protected
-// critical sections with commutative updates, message-passing channels in
-// a chain or ring, and per-thread stores to a falsely-shared scratch line.
+// critical sections with commutative updates (optionally held across a
+// delay loop so contenders busy-wait at length), a dekker-style flag/turn
+// mutual-exclusion idiom between threads 0 and 1, message-passing channels
+// in a chain or ring, and per-thread stores to a falsely-shared scratch
+// line. The spin-heavy shapes (lock holds, dekker polling, channel waits)
+// are deliberate: they drive the spin-aware fast-forward machinery through
+// confirmation, remote-store demotion, and whole-period jumps, all under
+// the bit-identity check against naive stepping.
 // Synchronization is annotation-driven: the same scenario is lowered three
 // times (traditional, class-scoped, set-scoped fences).
 //
@@ -264,8 +278,20 @@ func (g *concGen) thread(t int) {
 	for lk := 0; lk < g.locks; lk++ {
 		if g.rng.Intn(2) == 1 {
 			lk, cells, delta := lk, 1+g.rng.Intn(4), 1+g.rng.Int63n(9)
-			phases = append(phases, func() { g.critical(lk, cells, delta) })
+			hold := 0
+			if g.rng.Intn(2) == 1 {
+				hold = 8 + g.rng.Intn(17)
+			}
+			phases = append(phases, func() { g.critical(lk, cells, delta, hold) })
 		}
+	}
+	if t < 2 && g.rng.Intn(2) == 1 {
+		times, delta := 1+g.rng.Intn(4), 1+g.rng.Int63n(9)
+		hold := 0
+		if g.rng.Intn(2) == 1 {
+			hold = 8 + g.rng.Intn(17)
+		}
+		phases = append(phases, func() { g.dekker(t, times, delta, hold) })
 	}
 	if g.rng.Intn(2) == 1 {
 		phases = append(phases, func() { g.scratch(t) })
@@ -339,7 +365,10 @@ func (g *concGen) counterBump(c, times int, delta int64) {
 // protected cells, a release fence, and the unlock store. Mutual exclusion
 // plus the two fences make the cell updates atomic with respect to every
 // other thread, so the final cell values are interleaving-independent.
-func (g *concGen) critical(lk, cells int, delta int64) {
+// A nonzero hold inserts a register-only delay loop while the lock is
+// held, stretching the window in which contending threads busy-wait on
+// the CAS — the spin-dominated shape the detector's fast path compresses.
+func (g *concGen) critical(lk, cells int, delta int64, hold int) {
 	base := concLockBase + int64(lk)*128
 	g.b.Inline(func(b *isa.Builder) {
 		g.l.enter(b, cidLock)
@@ -350,6 +379,12 @@ func (g *concGen) critical(lk, cells int, delta int64) {
 		b.CAS(isa.R19, isa.R16, 0, isa.R0, isa.R17)
 		b.Beq(isa.R19, isa.R0, "acquire")
 		g.l.fence(b) // acquire: protected accesses stay after lock acquisition
+		if hold > 0 {
+			b.MovI(isa.R20, int64(hold))
+			b.Label("hold")
+			b.AddI(isa.R20, isa.R20, -1)
+			b.Bne(isa.R20, isa.R0, "hold")
+		}
 		for j := 0; j < cells; j++ {
 			g.l.shared(b)
 			b.Load(isa.R18, isa.R16, int64(8*(1+j)))
@@ -361,6 +396,77 @@ func (g *concGen) critical(lk, cells int, delta int64) {
 		g.l.shared(b)
 		b.Store(isa.R16, 0, isa.R0)
 		g.l.exit(b, cidLock)
+	})
+}
+
+// dekker emits a dekker-style mutual-exclusion idiom for thread t (only
+// threads 0 and 1 participate): publish my flag, the classic store→load
+// dekker fence, poll the peer's flag with turn-based backoff, then a
+// non-atomic read-modify-write of the protected cell under acquire and
+// release fences. Flag words sit on separate lines, so the loser's
+// polling loop is a steady all-hit spin — together with the hold delay it
+// is the generator's most spin-dominated shape, exercising confirmation,
+// remote-store demotion (the winner's flag drop lands mid-spin), and
+// spin-forward crediting in the differential check. The cell updates
+// commute, so the final cell is deterministic; the turn word is not, and
+// lives outside the checked footprint (see concTurnAddr).
+func (g *concGen) dekker(t, times int, delta int64, hold int) {
+	me := int64(concDekkerBase + t*64)
+	peer := int64(concDekkerBase + (1-t)*64)
+	g.b.Inline(func(b *isa.Builder) {
+		g.l.enter(b, cidDekker)
+		b.MovI(isa.R16, me)
+		b.MovI(isa.R17, peer)
+		b.MovI(isa.R18, concTurnAddr)
+		b.MovI(isa.R22, concDekkerBase+128)
+		b.MovI(isa.R21, int64(times))
+		b.Label("iter")
+		b.MovI(isa.R20, 1)
+		g.l.shared(b)
+		b.Store(isa.R16, 0, isa.R20) // flag[me] = 1
+		g.l.fence(b)                 // dekker: my flag store before the peer-flag load
+		b.Label("try")
+		g.l.shared(b)
+		b.Load(isa.R19, isa.R17, 0)
+		b.Beq(isa.R19, isa.R0, "enter")
+		g.l.shared(b)
+		b.Load(isa.R19, isa.R18, 0)
+		b.XorI(isa.R19, isa.R19, int64(t))
+		b.Beq(isa.R19, isa.R0, "try") // my turn: keep polling the peer flag
+		g.l.shared(b)
+		b.Store(isa.R16, 0, isa.R0) // back off: drop my flag until my turn
+		b.Label("waitturn")
+		g.l.shared(b)
+		b.Load(isa.R19, isa.R18, 0)
+		b.XorI(isa.R19, isa.R19, int64(t))
+		b.Bne(isa.R19, isa.R0, "waitturn")
+		g.l.shared(b)
+		b.Store(isa.R16, 0, isa.R20) // re-publish and retry
+		g.l.fence(b)
+		b.Jmp("try")
+
+		b.Label("enter")
+		g.l.fence(b) // acquire: the peer-flag read completes before the cell load
+		if hold > 0 {
+			b.MovI(isa.R20, int64(hold))
+			b.Label("hold")
+			b.AddI(isa.R20, isa.R20, -1)
+			b.Bne(isa.R20, isa.R0, "hold")
+		}
+		g.l.shared(b)
+		b.Load(isa.R19, isa.R22, 0)
+		b.AddI(isa.R19, isa.R19, delta)
+		g.l.shared(b)
+		b.Store(isa.R22, 0, isa.R19)
+		g.l.fence(b) // release: the cell store is visible before the flag drops
+		b.MovI(isa.R19, int64(1-t))
+		g.l.shared(b)
+		b.Store(isa.R18, 0, isa.R19) // turn = peer
+		g.l.shared(b)
+		b.Store(isa.R16, 0, isa.R0) // flag[me] = 0
+		b.AddI(isa.R21, isa.R21, -1)
+		b.Bne(isa.R21, isa.R0, "iter")
+		g.l.exit(b, cidDekker)
 	})
 }
 

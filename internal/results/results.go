@@ -23,7 +23,9 @@ import (
 
 // SchemaVersion is bumped whenever the JSON layout of envelopes or cached
 // run records changes incompatibly; readers must reject other versions.
-const SchemaVersion = 1
+// v2: SimPerfRow grew per-kernel spin accounting (spinJumps,
+// spinSkippedCycles) and the simperf suite covers every Table IV kernel.
+const SchemaVersion = 2
 
 // Paper identifies the reproduced paper in every envelope.
 const Paper = "conf_sc_LinNG14 (Fence Scoping, Lin/Nagarajan/Gupta, SC '14)"

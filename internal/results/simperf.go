@@ -51,6 +51,10 @@ type SimPerfRow struct {
 	SlowTicks     int64 `json:"slowTicks"`
 	SkippedCycles int64 `json:"skippedCycles"`
 	Jumps         int64 `json:"jumps"`
+	// Spin accounting: jumps that carried at least one core through a
+	// confirmed busy-wait orbit, and the cycles those jumps covered.
+	SpinJumps         int64 `json:"spinJumps"`
+	SpinSkippedCycles int64 `json:"spinSkippedCycles"`
 }
 
 // SimPerfReport is the BENCH_SIMPERF.json payload.
@@ -67,27 +71,52 @@ type simPerfCase struct {
 	observer bool
 }
 
+// simPerfKernelOps sizes the per-kernel rows: enough iterations that the
+// steady-state clock behavior dominates warm-up, small enough that the
+// full matrix (8 kernels x 2 fence modes x 2 clocks) stays respectable on
+// a laptop. Full scale doubles the quick sizes.
+var simPerfKernelOps = map[string]int{
+	"dekker": 60, "wsq": 50, "msn": 32, "harris": 40,
+	"pst": 160, "ptc": 64, "barnes": 16, "radiosity": 16,
+}
+
+// simPerfKernels fixes the row order of the per-kernel block.
+var simPerfKernels = []string{
+	"dekker", "wsq", "msn", "harris", "pst", "ptc", "barnes", "radiosity",
+}
+
 // simPerfCases are the tracked workloads: the fence-drain microbenchmark
 // is the paper's Fig. 10 pattern (fence-heavy, miss-heavy — the
-// event-driven clock's home turf and the ISSUE's acceptance workload),
-// dekker is a contended lock-free kernel where spin loops keep cores
-// active and the win comes mostly from the cheaper per-cycle path. The
-// observer row repeats the first workload with a counting observer
-// attached, pinning down that counter-only observability stays on the
-// fast path (nonzero skipped cycles) with identical results.
+// event-driven clock's home turf), followed by every Table IV kernel
+// under both fence modes, which is where the spin detector earns its
+// keep: contended kernels busy-wait with the pipeline fully active, so
+// only spin-aware jumps can compress them. The observer row repeats the
+// first workload with a counting observer attached, pinning down that
+// counter-only observability stays on the fast path (nonzero skipped
+// cycles) with identical results.
 func simPerfCases(sc exp.Scale) []simPerfCase {
 	ops := 400
 	wl := 8
+	scale := 2
 	if sc == exp.Quick {
 		ops = 200
 		wl = 4
+		scale = 1
 	}
-	return []simPerfCase{
+	cases := []simPerfCase{
 		{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Traditional, Ops: ops}},
 		{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Scoped, Ops: ops}},
-		{bench: "dekker", opts: kernels.Options{Mode: kernels.Traditional, Ops: 60, Workload: wl}},
-		{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Traditional, Ops: ops}, observer: true},
 	}
+	for _, bench := range simPerfKernels {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			cases = append(cases, simPerfCase{
+				bench: bench,
+				opts:  kernels.Options{Mode: mode, Ops: simPerfKernelOps[bench] * scale, Workload: wl},
+			})
+		}
+	}
+	return append(cases,
+		simPerfCase{bench: "fence-drain", opts: kernels.Options{Mode: kernels.Traditional, Ops: ops}, observer: true})
 }
 
 // buildMachine assembles a ready-to-run machine for one case.
@@ -202,6 +231,9 @@ func RunSimPerf(ctx context.Context, sc exp.Scale) (SimPerfReport, error) {
 			SlowTicks:     cs.SlowTicks,
 			SkippedCycles: cs.SkippedCycles,
 			Jumps:         cs.Jumps,
+
+			SpinJumps:         cs.SpinJumps,
+			SpinSkippedCycles: cs.SpinSkippedCycles,
 		}
 		if naiveNs > 0 {
 			row.NaiveCyclesPerSec = float64(naiveCycles) / (float64(naiveNs) / 1e9)
