@@ -112,6 +112,14 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
 	}
+	// Before overwriting, report what this run changes relative to the
+	// artifacts already in the output directory — the committed baseline
+	// when -out is the repo root.
+	changes, err := suite.DiffBaseline(*out)
+	if err != nil {
+		fail(err)
+	}
+	printBaselineChanges(changes)
 	paths, err := suite.WriteArtifacts(*out)
 	if err != nil {
 		fail(err)
@@ -155,5 +163,40 @@ func main() {
 		}
 	} else {
 		fmt.Println("cache: disabled")
+	}
+}
+
+// printBaselineChanges summarizes what this run changed relative to the
+// artifacts already on disk. Changed artifacts list their first few
+// leaf-level value deltas (full paths into the JSON document); a clean
+// regeneration prints a single "all N artifacts unchanged" line — the
+// byte-stability the warm-cache CI smoke relies on, now legible per run.
+func printBaselineChanges(changes []sfence.BaselineChange) {
+	const maxDeltas = 4
+	var unchanged, fresh int
+	for _, c := range changes {
+		switch c.Status {
+		case "unchanged":
+			unchanged++
+			continue
+		case "new":
+			fresh++
+			fmt.Printf("baseline: %s new (no committed artifact)\n", c.Artifact)
+			continue
+		}
+		fmt.Printf("baseline: %s changed (%d values)\n", c.Artifact, len(c.Deltas))
+		for i, d := range c.Deltas {
+			if i == maxDeltas {
+				fmt.Printf("baseline:   ... %d more\n", len(c.Deltas)-maxDeltas)
+				break
+			}
+			fmt.Printf("baseline:   %s\n", d)
+		}
+	}
+	if unchanged == len(changes) {
+		fmt.Printf("baseline: all %d artifacts unchanged\n", unchanged)
+	} else {
+		fmt.Printf("baseline: %d unchanged, %d changed, %d new of %d artifacts\n",
+			unchanged, len(changes)-unchanged-fresh, fresh, len(changes))
 	}
 }

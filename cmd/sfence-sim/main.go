@@ -11,6 +11,9 @@
 //	sfence-sim -bench wsq -stats-json   # the same snapshot as JSON
 //	sfence-sim -gen 149                 # replay fuzz scenario 149 differentially
 //	sfence-sim -gen 149 -gen-dump set   # print its set-scoped disassembly
+//	sfence-sim -bench wsq -mode inferred  # run with statically inferred scopes
+//	sfence-sim -scopecheck              # static scope gate: kernels, litmus, corpus
+//	sfence-sim -infer harris            # per-pc scope-inference drill-down
 //	sfence-sim -list
 //
 // The run is cancellable: Ctrl-C (or the -timeout deadline) stops the
@@ -24,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 
 	"sfence"
 )
@@ -31,7 +36,7 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "wsq", "benchmark name (see -list)")
-		mode      = flag.String("mode", "scoped", "fence mode: traditional | scoped")
+		mode      = flag.String("mode", "scoped", "fence mode: traditional | scoped | inferred")
 		scope     = flag.String("scope", "", "override scope for scoped mode: class | set")
 		threads   = flag.Int("threads", 0, "thread count (0 = benchmark default)")
 		ops       = flag.Int("ops", 0, "operation count (0 = benchmark default)")
@@ -50,11 +55,22 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
 		genSeed   = flag.Int64("gen", 0, "replay the generated fuzz scenario with this seed through the full differential check (ignores -bench)")
 		genDump   = flag.String("gen-dump", "", "with -gen: print the named fence variant's disassembly (traditional | class | set) instead of checking")
+		scopeGate = flag.Bool("scopecheck", false, "statically verify fence scopes: all kernels, all litmus families, and the committed fuzz corpus (ignores -bench)")
+		corpus    = flag.String("corpus", "internal/ref/testdata/fuzz/FuzzConcDifferential", "with -scopecheck: directory of committed fuzz seeds to verify")
+		infer     = flag.String("infer", "", "infer minimal fence scopes for this benchmark's unannotated build and print the report (ignores -bench)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(sfence.RenderTableIV())
+		return
+	}
+	if *scopeGate {
+		runScopeGate(*corpus)
+		return
+	}
+	if *infer != "" {
+		runInfer(*infer)
 		return
 	}
 
@@ -77,6 +93,8 @@ func main() {
 		opts.Mode = sfence.Traditional
 	case "scoped":
 		opts.Mode = sfence.Scoped
+	case "inferred":
+		opts.Mode = sfence.Inferred
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -171,6 +189,92 @@ func main() {
 			}
 		}
 	}
+}
+
+// corpusSeeds extracts the int64 seeds from a committed go-fuzz corpus
+// directory ("go test fuzz v1" files with one int64 argument).
+func corpusSeeds(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			var s int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(line), "int64(%d)", &s); err == nil {
+				seeds = append(seeds, s)
+			}
+		}
+	}
+	return seeds, nil
+}
+
+// runScopeGate statically verifies every program the repository ships —
+// the CI scope gate behind -scopecheck.
+func runScopeGate(corpusDir string) {
+	seeds, err := corpusSeeds(corpusDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading corpus %s: %v\n", corpusDir, err)
+		os.Exit(2)
+	}
+	entries, ok := sfence.ScopeGate(seeds)
+	fmt.Printf("%-32s %7s %9s %6s  %s\n", "target", "errors", "warnings", "notes", "verdict")
+	for _, e := range entries {
+		verdict := "ok"
+		if !e.OK {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%-32s %7d %9d %6d  %s\n", e.Target, e.Errors, e.Warnings, e.Notes, verdict)
+		if !e.OK && e.Detail != "" {
+			fmt.Println(e.Detail)
+		}
+	}
+	if !ok {
+		fmt.Println("scope gate:         FAILED")
+		os.Exit(1)
+	}
+	fmt.Printf("scope gate:         PASSED (%d targets, %d corpus seeds)\n", len(entries), len(seeds))
+}
+
+// runInfer infers minimal scopes for one benchmark's unannotated build
+// and prints what the analysis decided.
+func runInfer(bench string) {
+	sc, err := sfence.BenchmarkScenario(bench, sfence.BenchmarkOptions{Mode: sfence.Traditional})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog, info, err := sfence.InferScopes(&sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark:          %s (unannotated build)\n", bench)
+	fmt.Printf("fences rewritten:   %d (all to set scope)\n", info.Fences)
+	fmt.Printf("accesses flagged:   %d\n", len(info.Flagged))
+	for _, pc := range info.Flagged {
+		fmt.Printf("  pc %4d: %v\n", pc, prog.Code[pc])
+	}
+	inferred := sfence.ScopeScenario{Name: sc.Name, Prog: prog, Threads: sc.Threads, Regions: sc.Regions}
+	rep, err := sfence.VerifyScopes(&inferred)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rep.HasErrors() {
+		fmt.Println(rep)
+		fmt.Println("inferred scopes:    FAILED VERIFICATION")
+		os.Exit(1)
+	}
+	fmt.Println("inferred scopes:    verify clean")
 }
 
 // runGenerated replays one generated fuzz scenario standalone: either

@@ -1,0 +1,52 @@
+// Command sfence-vet runs the repository's own static analyzers — the
+// checks that used to live in CI as grep/sed one-liners, promoted to real
+// AST analysis (see internal/lint):
+//
+//	noglobalhooks     no reintroduction of process-global hook setters
+//	registrycounters  stat-registry structs declare no raw numeric fields
+//	packagedocs       every internal package carries a doc comment
+//
+// Usage:
+//
+//	sfence-vet [root]
+//
+// root defaults to the current directory. Findings print one per line in
+// file:line:col order; any finding exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfence/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sfence-vet [root]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's analyzers over the tree rooted at root (default .):\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfence-vet:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sfence-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("sfence-vet: clean (%d packages, %d analyzers)\n", len(pkgs), len(lint.Analyzers()))
+}

@@ -152,6 +152,49 @@ func (s *Session) Figure14(ctx context.Context, sc Scale) ([]BenchGroup, error) 
 	return out, nil
 }
 
+// FigureInferred is the static-inference experiment (beyond the paper):
+// every Table IV benchmark under traditional fences (T), the hand-written
+// scope annotations (S), and the compiler-derived configuration (I) —
+// scopecheck.Infer run over the unannotated build — normalized to T. The
+// claim it feeds: inference recovers the hand annotations' benefit
+// without any programmer involvement, the paper's Section IV compiler
+// support realized as a working analysis.
+func (s *Session) FigureInferred(ctx context.Context, sc Scale) ([]BenchGroup, error) {
+	benches := []string{"dekker", "wsq", "msn", "harris", "pst", "ptc", "barnes", "radiosity"}
+	modes := []struct {
+		Label string
+		Mode  kernels.FenceMode
+	}{
+		{"T", kernels.Traditional},
+		{"S", kernels.Scoped},
+		{"I", kernels.Inferred},
+	}
+	grid := map[[2]int]*figRun{}
+	var runs []*figRun
+	for bi, bench := range benches {
+		for mi, m := range modes {
+			r := &figRun{bench: bench, opts: kernels.Options{
+				Mode: m.Mode, Ops: opsFor(bench, sc),
+			}, cfg: baseConfig()}
+			grid[[2]int{bi, mi}] = r
+			runs = append(runs, r)
+		}
+	}
+	if err := s.execute(ctx, "Inferred scopes", runs); err != nil {
+		return nil, err
+	}
+	out := make([]BenchGroup, 0, len(benches))
+	for bi, bench := range benches {
+		group := BenchGroup{Bench: bench}
+		baseline := grid[[2]int{bi, 0}].res.Cycles
+		for mi, m := range modes {
+			group.Bars = append(group.Bars, barFrom(m.Label, grid[[2]int{bi, mi}].res, baseline))
+		}
+		out = append(out, group)
+	}
+	return out, nil
+}
+
 // fullApps are the four full applications the paper's sensitivity
 // figures (15 and 16) sweep.
 var fullApps = []string{"pst", "ptc", "barnes", "radiosity"}

@@ -5,18 +5,27 @@ import "fmt"
 // Validate checks the structural well-formedness a correct compiler must
 // guarantee (Section IV's compiler support):
 //
-//   - every branch/jump target is inside the program,
+//   - every entry point and branch/jump target is inside the program,
 //   - register indices are in range,
 //   - class-scope brackets are balanced along every control-flow path:
-//     each reachable pc has one consistent fs_start/fs_end nesting depth,
-//     no fs_end appears at depth zero, and no halt (or fall-off-the-end)
-//     occurs inside an open scope.
+//     each pc has one consistent fs_start/fs_end nesting depth, no fs_end
+//     appears at depth zero, and no halt (or fall-off-the-end) occurs
+//     inside an open scope.
 //
-// The check is a depth-flow analysis over the CFG from every entry point.
+// The check is a depth-flow analysis over the CFG from every entry
+// point. Code unreachable from any entry is then flowed from depth zero
+// — an assembler must not emit dead regions that would be ill-scoped if
+// ever branched to, and a program whose only entries are mid-code still
+// gets its prefix checked.
 func (p *Program) Validate() error {
 	depth := make([]int, len(p.Code)+1) // +1: the implicit-halt pc
 	seen := make([]bool, len(p.Code)+1)
 
+	for name, pc := range p.Entries {
+		if pc < 0 || pc > len(p.Code) {
+			return fmt.Errorf("isa: entry %q: pc %d outside program of %d instructions", name, pc, len(p.Code))
+		}
+	}
 	for i, in := range p.Code {
 		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs || in.Rs3 >= NumRegs {
 			return fmt.Errorf("isa: pc %d: register out of range in %s", i, in)
@@ -65,35 +74,55 @@ func (p *Program) Validate() error {
 		}
 	}
 
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		in := p.Code[n.pc]
-		d := n.depth
-		switch in.Op {
-		case OpHalt:
-			if d != 0 {
-				return fmt.Errorf("isa: pc %d: halt inside %d open class scope(s)", n.pc, d)
+	drain := func() error {
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			in := p.Code[n.pc]
+			d := n.depth
+			switch in.Op {
+			case OpHalt:
+				if d != 0 {
+					return fmt.Errorf("isa: pc %d: halt inside %d open class scope(s)", n.pc, d)
+				}
+				continue
+			case OpFsStart:
+				d++
+			case OpFsEnd:
+				if d == 0 {
+					return fmt.Errorf("isa: pc %d: fs_end with no open scope", n.pc)
+				}
+				d--
+			case OpJmp:
+				if err := push(int(in.Imm), d); err != nil {
+					return err
+				}
+				continue
+			case OpBeq, OpBne, OpBlt, OpBge:
+				if err := push(int(in.Imm), d); err != nil {
+					return err
+				}
 			}
-			continue
-		case OpFsStart:
-			d++
-		case OpFsEnd:
-			if d == 0 {
-				return fmt.Errorf("isa: pc %d: fs_end with no open scope", n.pc)
-			}
-			d--
-		case OpJmp:
-			if err := push(int(in.Imm), d); err != nil {
-				return err
-			}
-			continue
-		case OpBeq, OpBne, OpBlt, OpBge:
-			if err := push(int(in.Imm), d); err != nil {
+			if err := push(n.pc+1, d); err != nil {
 				return err
 			}
 		}
-		if err := push(n.pc+1, d); err != nil {
+		return nil
+	}
+	if err := drain(); err != nil {
+		return err
+	}
+	// Unreachable code is flowed from depth zero: its brackets must be
+	// balanced in their own right, exactly as if the dead pc were an
+	// entry point.
+	for pc := range p.Code {
+		if seen[pc] {
+			continue
+		}
+		if err := push(pc, 0); err != nil {
+			return err
+		}
+		if err := drain(); err != nil {
 			return err
 		}
 	}

@@ -96,3 +96,79 @@ func TestValidateAcceptsRunOffEndAtDepthZero(t *testing.T) {
 		t.Errorf("depth-0 fall-off-end rejected: %v", err)
 	}
 }
+
+func TestValidateRejectsEntryOutOfRange(t *testing.T) {
+	for _, pc := range []int{-1, 99} {
+		p := &Program{Code: []Instruction{{Op: OpHalt}}, Entries: map[string]int{"main": pc}}
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), "outside program") {
+			t.Errorf("entry pc %d: got %v, want out-of-range error", pc, err)
+		}
+	}
+}
+
+func TestValidateAcceptsEntryAtImplicitHalt(t *testing.T) {
+	// An entry at len(Code) is the implicit-halt pc: a thread that does
+	// nothing, which the runner accepts.
+	p := &Program{Code: []Instruction{{Op: OpHalt}}, Entries: map[string]int{"main": 1}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("entry at implicit halt rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnreachableUnbalanced(t *testing.T) {
+	// The unmatched fs_end is dead (jumped over), but dead regions must
+	// still be well-scoped from depth zero.
+	p := &Program{Code: []Instruction{
+		{Op: OpJmp, Imm: 2},
+		{Op: OpFsEnd},
+		{Op: OpHalt},
+	}, Entries: map[string]int{"main": 0}}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no open scope") {
+		t.Errorf("unreachable unmatched fs_end: got %v, want no-open-scope error", err)
+	}
+}
+
+func TestValidateChecksDeadPrefixOfMidCodeEntry(t *testing.T) {
+	// The program's only entry is mid-code; the dead prefix opens a scope
+	// it never closes and must still be flagged.
+	p := &Program{Code: []Instruction{
+		{Op: OpFsStart, Imm: 1},
+		{Op: OpHalt},
+		{Op: OpHalt},
+	}, Entries: map[string]int{"main": 2}}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "halt inside") {
+		t.Errorf("dead unbalanced prefix: got %v, want halt-inside-scope error", err)
+	}
+}
+
+func TestValidateAcceptsBalancedDeadCode(t *testing.T) {
+	p := &Program{Code: []Instruction{
+		{Op: OpJmp, Imm: 4},
+		{Op: OpFsStart, Imm: 1}, // dead but balanced
+		{Op: OpFsEnd, Imm: 1},
+		{Op: OpHalt},
+		{Op: OpHalt},
+	}, Entries: map[string]int{"main": 0}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("balanced dead code rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsDepthMismatchAtLoopBackEdge(t *testing.T) {
+	// A back edge that re-enters the loop head at a deeper scope than the
+	// first visit.
+	b := NewBuilder()
+	b.Entry("main")
+	b.Label("head")
+	b.FsStart(1)
+	b.Bne(R1, R0, "head") // back to head at depth 1 vs. entry depth 0
+	b.FsEnd(1)
+	b.Halt()
+	err := b.MustBuild().Validate()
+	if err == nil || !strings.Contains(err.Error(), "depths") {
+		t.Errorf("loop back-edge depth mismatch: got %v, want depth error", err)
+	}
+}

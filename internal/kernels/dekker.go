@@ -6,6 +6,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -137,6 +138,12 @@ func buildDekker(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "dekker",
 		Program: p,
+		Regions: regionsFor(lay, func(name string) (scopecheck.Sharing, int) {
+			if t, ok := ownedSuffix(name, "work"); ok {
+				return scopecheck.Private, t
+			}
+			return scopecheck.SharedRW, -1
+		}),
 		Threads: []machine.Thread{
 			{Entry: "t0", Regs: mkRegs(0, flag0, flag1, work0)},
 			{Entry: "t1", Regs: mkRegs(1, flag1, flag0, work1)},

@@ -6,6 +6,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -101,6 +102,15 @@ func buildFenceDrain(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "fence-drain",
 		Program: prog,
+		Regions: regionsFor(lay, func(name string) (scopecheck.Sharing, int) {
+			if t, ok := ownedSuffix(name, "flag"); ok {
+				return scopecheck.Private, t
+			}
+			if t, ok := ownedSuffix(name, "cold"); ok {
+				return scopecheck.Private, t
+			}
+			return scopecheck.SharedRW, -1
+		}),
 		Threads: threads,
 		Verify: func(img *memsys.Image) error {
 			for t := 0; t < nthreads; t++ {

@@ -7,6 +7,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -276,6 +277,20 @@ func buildHarris(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "harris",
 		Program: p,
+		Regions: regionsFor(lay, func(name string) (scopecheck.Sharing, int) {
+			// Node pools are published into the list, so shared even
+			// though each is bump-allocated by one thread.
+			if _, ok := ownedSuffix(name, "script"); ok {
+				return scopecheck.ReadShared, -1
+			}
+			if t, ok := ownedSuffix(name, "results"); ok {
+				return scopecheck.Private, t
+			}
+			if t, ok := ownedSuffix(name, "work"); ok {
+				return scopecheck.Private, t
+			}
+			return scopecheck.SharedRW, -1
+		}),
 		Threads: threads,
 		MemInit: memInit,
 		InitImage: func(img *memsys.Image) {

@@ -16,6 +16,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 	"sfence/internal/stats"
 )
 
@@ -29,11 +30,20 @@ const (
 	// Scoped emits each fence with its natural scope (class or set,
 	// depending on the benchmark): the paper's "S" configuration.
 	Scoped
+	// Inferred builds the Traditional (unannotated) variant and rewrites
+	// it with scopecheck.Infer: every fence becomes set-scoped and
+	// exactly the accesses the static analysis proves thread-escaping and
+	// order-relevant carry a set flag — the compiler-derived "S"
+	// configuration, with no hand annotations.
+	Inferred
 )
 
 func (m FenceMode) String() string {
-	if m == Traditional {
+	switch m {
+	case Traditional:
 		return "traditional"
+	case Inferred:
+		return "inferred"
 	}
 	return "scoped"
 }
@@ -101,6 +111,10 @@ type Kernel struct {
 	InitImage func(img *memsys.Image)
 	// Verify checks the final memory image; nil means no check.
 	Verify func(img *memsys.Image) error
+	// Regions declares the kernel's data placement for the static scope
+	// analyzer (see Scenario); empty means no regions are declared and
+	// only concretely resolved addresses are attributed.
+	Regions []scopecheck.Region
 }
 
 // Builder constructs a kernel from options.
@@ -158,13 +172,30 @@ func Lookup(name string) (Info, error) {
 	return Info{}, fmt.Errorf("kernels: unknown benchmark %q", name)
 }
 
-// Build constructs the named benchmark.
+// Build constructs the named benchmark. Inferred mode builds the
+// unannotated Traditional variant and rewrites its program with
+// statically inferred scopes.
 func Build(name string, opts Options) (*Kernel, error) {
 	info, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return info.Build(opts)
+	if opts.Mode != Inferred {
+		return info.Build(opts)
+	}
+	base := opts
+	base.Mode = Traditional
+	k, err := info.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	sc := k.Scenario()
+	prog, _, err := scopecheck.Infer(&sc)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s: scope inference: %w", name, err)
+	}
+	k.Program = prog
+	return k, nil
 }
 
 // Result summarizes one kernel run. Results are memoized on disk by the

@@ -6,6 +6,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -216,6 +217,20 @@ func buildMSN(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "msn",
 		Program: p,
+		Regions: regionsFor(lay, func(name string) (scopecheck.Sharing, int) {
+			// rec/recCnt are owned by consumer c = thread producers+c;
+			// node pools are published through the queue, so shared.
+			if c, ok := ownedSuffix(name, "recCnt"); ok {
+				return scopecheck.Private, producers + c
+			}
+			if c, ok := ownedSuffix(name, "rec"); ok {
+				return scopecheck.Private, producers + c
+			}
+			if t, ok := ownedSuffix(name, "work"); ok {
+				return scopecheck.Private, t
+			}
+			return scopecheck.SharedRW, -1
+		}),
 		Threads: threads,
 		MemInit: map[int64]int64{qhead: dummy, qtail: dummy},
 		Verify: func(img *memsys.Image) error {

@@ -7,6 +7,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -67,6 +68,16 @@ func (pl *pstLayout) initGraph(img *memsys.Image) {
 	for i, v := range pl.g.Col {
 		img.Store(pl.col+int64(i)*8, int64(v))
 	}
+}
+
+// classifyPSTRegion classifies the shared pst/ptc layout for the static
+// scope analyzer: the CSR graph arrays are host-written, read-only
+// inputs; everything else (queues, counters, per-node state) is shared.
+func classifyPSTRegion(name string) (scopecheck.Sharing, int) {
+	if name == "rowPtr" || name == "col" {
+		return scopecheck.ReadShared, -1
+	}
+	return scopecheck.SharedRW, -1
 }
 
 // Register conventions shared by pst/ptc main loops.
@@ -206,6 +217,7 @@ func buildPST(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "pst",
 		Program: p,
+		Regions: regionsFor(lay, classifyPSTRegion),
 		Threads: threads,
 		MemInit: memInit,
 		InitImage: func(img *memsys.Image) {

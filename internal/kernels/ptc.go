@@ -167,6 +167,7 @@ func buildPTC(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "ptc",
 		Program: p,
+		Regions: regionsFor(lay, classifyPSTRegion),
 		Threads: threads,
 		MemInit: memInit,
 		InitImage: func(img *memsys.Image) {

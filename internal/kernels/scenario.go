@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"strconv"
+	"strings"
+
+	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
+)
+
+// Scenario adapts a built kernel for static scope analysis: the program,
+// the thread entry points with their concrete initial registers, and the
+// kernel's declared data regions.
+func (k *Kernel) Scenario() scopecheck.Scenario {
+	threads := make([]scopecheck.Thread, len(k.Threads))
+	for i, th := range k.Threads {
+		threads[i] = scopecheck.Thread{Entry: th.Entry, Regs: th.Regs}
+	}
+	return scopecheck.Scenario{
+		Name:    k.Name,
+		Prog:    k.Program,
+		Threads: threads,
+		Regions: k.Regions,
+	}
+}
+
+// regionsFor converts a layout's named allocations into scope-analysis
+// region declarations. classify maps an allocation name to its sharing
+// class and owning thread (-1 when unowned); nil classifies everything
+// SharedRW. The classification is a declaration the analyzer relies on
+// for attributing unresolved (pointer-chased) addresses: only SharedRW
+// regions may be reached through loaded pointers.
+func regionsFor(lay *memsys.Layout, classify func(name string) (scopecheck.Sharing, int)) []scopecheck.Region {
+	named := lay.Regions()
+	out := make([]scopecheck.Region, 0, len(named))
+	for _, nr := range named {
+		sharing, owner := scopecheck.SharedRW, -1
+		if classify != nil {
+			sharing, owner = classify(nr.Name)
+		}
+		out = append(out, scopecheck.Region{
+			Name: nr.Name, Base: nr.Base, Words: nr.Words,
+			Sharing: sharing, Owner: owner,
+		})
+	}
+	return out
+}
+
+// ownedSuffix matches allocation names of the form prefix<N> (work3,
+// rec0, ...) and returns N.
+func ownedSuffix(name, prefix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[len(prefix):])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -6,6 +6,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -209,6 +210,18 @@ func buildSCIKernel(name string, prm sciParams, opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    name,
 		Program: p,
+		Regions: regionsFor(lay, func(rn string) (scopecheck.Sharing, int) {
+			if rn == "pos" {
+				return scopecheck.ReadShared, -1
+			}
+			if t, ok := ownedSuffix(rn, "acc"); ok {
+				return scopecheck.Private, t
+			}
+			if t, ok := ownedSuffix(rn, "res"); ok {
+				return scopecheck.Private, t
+			}
+			return scopecheck.SharedRW, -1
+		}),
 		Threads: threads,
 		InitImage: func(img *memsys.Image) {
 			for i := int64(0); i < prm.posWords; i++ {

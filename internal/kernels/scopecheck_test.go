@@ -1,0 +1,97 @@
+package kernels_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+	"sfence/internal/scopecheck"
+)
+
+// TestKernelScopesVerify is the static gate over Table IV: every
+// kernel's hand annotations verify clean under the scope checker, in
+// both the traditional (all-global) and scoped builds. The issue's
+// explicit criterion — harris's class annotations verify clean — is a
+// row of this table.
+func TestKernelScopesVerify(t *testing.T) {
+	for _, info := range kernels.All() {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			k, err := kernels.Build(info.Name, kernels.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", info.Name, mode, err)
+			}
+			sc := k.Scenario()
+			rep, err := scopecheck.Verify(&sc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", info.Name, mode, err)
+			}
+			if rep.HasErrors() {
+				t.Errorf("%s/%s: scope verification errors:\n%s", info.Name, mode, rep)
+			}
+		}
+	}
+}
+
+// TestKernelScopesInfer checks that inference produces an analyzable,
+// clean program for every kernel: the inferred set-scope rewrite must
+// itself verify with no errors, and must flag at least one access on
+// every kernel (they all communicate through shared memory).
+func TestKernelScopesInfer(t *testing.T) {
+	for _, info := range kernels.All() {
+		k, err := kernels.Build(info.Name, kernels.Options{Mode: kernels.Traditional})
+		if err != nil {
+			t.Fatalf("%s: build: %v", info.Name, err)
+		}
+		sc := k.Scenario()
+		prog, inf, err := scopecheck.Infer(&sc)
+		if err != nil {
+			t.Fatalf("%s: infer: %v", info.Name, err)
+		}
+		if inf.Fences == 0 {
+			t.Errorf("%s: inference rewrote no fences", info.Name)
+		}
+		if len(inf.Flagged) == 0 {
+			t.Errorf("%s: inference flagged no accesses", info.Name)
+		}
+		inferred := scopecheck.Scenario{Name: sc.Name, Prog: prog, Threads: sc.Threads, Regions: sc.Regions}
+		rep, err := scopecheck.Verify(&inferred)
+		if err != nil {
+			t.Fatalf("%s: verify inferred: %v", info.Name, err)
+		}
+		if rep.HasErrors() {
+			t.Errorf("%s: inferred program has scope errors:\n%s", info.Name, rep)
+		}
+	}
+}
+
+// TestInferredKernelsRun executes inferred-scope builds on the simulated
+// machine and checks the kernels' own architectural verifiers: the
+// dynamic half of inference soundness on real programs.
+func TestInferredKernelsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cases := []struct {
+		name string
+		opts kernels.Options
+	}{
+		{"dekker", kernels.Options{Mode: kernels.Inferred, Ops: 20, Workload: 1}},
+		{"wsq", kernels.Options{Mode: kernels.Inferred, Ops: 40, Workload: 1}},
+		{"harris", kernels.Options{Mode: kernels.Inferred, Ops: 24, Workload: 1}},
+	}
+	for _, tc := range cases {
+		k, err := kernels.Build(tc.name, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: build: %v", tc.name, err)
+		}
+		cfg := machine.DefaultConfig()
+		cfg.Cores = len(k.Threads)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if _, err := kernels.Run(ctx, k, cfg); err != nil {
+			t.Errorf("%s (inferred): %v", tc.name, err)
+		}
+		cancel()
+	}
+}

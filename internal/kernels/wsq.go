@@ -6,6 +6,7 @@ import (
 	"sfence/internal/isa"
 	"sfence/internal/machine"
 	"sfence/internal/memsys"
+	"sfence/internal/scopecheck"
 )
 
 func init() {
@@ -139,6 +140,15 @@ func buildWSQ(opts Options) (*Kernel, error) {
 	return &Kernel{
 		Name:    "wsq",
 		Program: p,
+		Regions: regionsFor(lay, func(name string) (scopecheck.Sharing, int) {
+			if t, ok := ownedSuffix(name, "rec"); ok {
+				return scopecheck.Private, t
+			}
+			if t, ok := ownedSuffix(name, "work"); ok {
+				return scopecheck.Private, t
+			}
+			return scopecheck.SharedRW, -1
+		}),
 		Threads: threads,
 		MemInit: map[int64]int64{qdesc + wsqBufOff: buf},
 		Verify: func(img *memsys.Image) error {

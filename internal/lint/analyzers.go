@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Analyzers returns the repository's analyzer set in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoGlobalHooks, RegistryCounters, PackageDocs}
+}
+
+// globalHookNames are the process-global observer setters that were
+// removed when progress reporting moved to explicit plumbing. Nothing may
+// reintroduce them — not as a definition, not as a call, not even as a
+// forwarding method — because a global hook makes simulation output
+// depend on ambient state and breaks run-to-run determinism.
+var globalHookNames = map[string]bool{
+	"SetRunner":             true,
+	"SetProgress":           true,
+	"SetExperimentRunner":   true,
+	"SetExperimentProgress": true,
+}
+
+// NoGlobalHooks flags any identifier naming a banned process-global hook
+// setter. Scanning identifiers (rather than grepping text) means prose in
+// comments may discuss the old API freely; only code is flagged.
+var NoGlobalHooks = &Analyzer{
+	Name: "noglobalhooks",
+	Doc:  "forbid reintroduction of process-global progress/runner hook setters",
+	Run: func(p *Package) []Finding {
+		var out []Finding
+		for _, name := range sortedFileNames(p) {
+			ast.Inspect(p.Files[name], func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if ok && globalHookNames[id.Name] {
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(id.Pos()),
+						Analyzer: "noglobalhooks",
+						Msg:      fmt.Sprintf("identifier %s reintroduces a banned process-global hook setter", id.Name),
+					})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// guardedStats maps a package directory to the stats-registry struct
+// types whose fields must route through the stats package. These are the
+// structs sfence-report diffs between runs; a plain numeric field would
+// be invisible to snapshotting and silently drift from the report.
+var guardedStats = map[string][]string{
+	"internal/cpu":    {"Stats"},
+	"internal/memsys": {"CoreStats", "LevelStats"},
+}
+
+// numericIdents are the built-in numeric types a guarded struct may not
+// use directly as field types.
+var numericIdents = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "byte": true, "rune": true, "float32": true, "float64": true,
+	"complex64": true, "complex128": true,
+}
+
+// RegistryCounters checks that the counter-registry structs declare every
+// field through the stats package (stats.Counter, stats.Gauge, or nested
+// guarded structs) rather than as raw numeric types.
+var RegistryCounters = &Analyzer{
+	Name: "registrycounters",
+	Doc:  "registry stat structs must not declare raw numeric fields",
+	Run: func(p *Package) []Finding {
+		want := guardedStats[p.Dir]
+		if len(want) == 0 {
+			return nil
+		}
+		guarded := map[string]bool{}
+		for _, t := range want {
+			guarded[t] = true
+		}
+		var out []Finding
+		for _, name := range sortedFileNames(p) {
+			ast.Inspect(p.Files[name], func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || !guarded[ts.Name.Name] {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if id := rawNumericType(field.Type); id != nil {
+						out = append(out, Finding{
+							Pos:      p.Fset.Position(field.Pos()),
+							Analyzer: "registrycounters",
+							Msg: fmt.Sprintf("%s declares a raw %s field; use stats.Counter or stats.Gauge so snapshots and reports see it",
+								ts.Name.Name, id.Name),
+						})
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// rawNumericType reports the built-in numeric identifier at the core of a
+// field type (unwrapping pointers, slices, and arrays), or nil if the
+// type routes through a named type such as stats.Counter.
+func rawNumericType(t ast.Expr) *ast.Ident {
+	switch e := t.(type) {
+	case *ast.Ident:
+		if numericIdents[e.Name] {
+			return e
+		}
+	case *ast.StarExpr:
+		return rawNumericType(e.X)
+	case *ast.ArrayType:
+		return rawNumericType(e.Elt)
+	}
+	return nil
+}
+
+// PackageDocs requires every internal package to open with a standard
+// "Package <name>" doc comment so `go doc` output stays complete.
+var PackageDocs = &Analyzer{
+	Name: "packagedocs",
+	Doc:  "every internal package must carry a 'Package <name>' doc comment",
+	Run: func(p *Package) []Finding {
+		if !strings.HasPrefix(p.Dir, "internal/") || strings.HasSuffix(p.Name, "_test") {
+			return nil
+		}
+		prefix := "Package " + p.Name + " "
+		for _, name := range sortedFileNames(p) {
+			f := p.Files[name]
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				continue
+			}
+			if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), prefix) {
+				return nil
+			}
+		}
+		first := sortedFileNames(p)[0]
+		return []Finding{{
+			Pos:      p.Fset.Position(p.Files[first].Package),
+			Analyzer: "packagedocs",
+			Msg:      fmt.Sprintf("package %s has no doc comment starting %q", p.Name, strings.TrimSpace(prefix)),
+		}}
+	},
+}

@@ -1,0 +1,135 @@
+// Package lint is the repository's own vet: a small, stdlib-only
+// analyzer framework (go/parser + go/ast, no external dependencies) plus
+// the repo-native analyzers that used to live in CI as grep/sed gates.
+// cmd/sfence-vet drives it; the analyzers are exported individually so
+// tests can run them against synthetic packages.
+//
+// The framework is deliberately syntactic: analyzers see parsed files,
+// not type information, so a run needs no build cache and no network —
+// it parses the tree in milliseconds and works in a bare container. Each
+// analyzer's rule is chosen to be decidable at that level (identifier
+// bans, struct-field shape, package documentation).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Msg, f.Analyzer)
+}
+
+// Package is one parsed directory of Go files.
+type Package struct {
+	// Dir is the root-relative directory ("internal/cpu", "." for the
+	// module root).
+	Dir string
+	// Name is the primary (non _test) package name.
+	Name string
+	Fset *token.FileSet
+	// Files maps root-relative file names to their parse trees, comments
+	// included.
+	Files map[string]*ast.File
+}
+
+// Analyzer is one check over a parsed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// Load parses every Go package under root (testdata, hidden, and
+// vendored directories skipped), comments included, test files included.
+// The returned packages are sorted by directory.
+func Load(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		dir := filepath.Dir(rel)
+		p := byDir[dir]
+		if p == nil {
+			p = &Package{Dir: dir, Fset: fset, Files: map[string]*ast.File{}}
+			byDir[dir] = p
+		}
+		p.Files[rel] = file
+		if pkg := file.Name.Name; !strings.HasSuffix(pkg, "_test") && (p.Name == "" || !strings.HasSuffix(p.Name, "_test")) {
+			p.Name = pkg
+		} else if p.Name == "" {
+			p.Name = pkg
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, p := range byDir {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings in (file, line) order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Offset < out[j].Pos.Offset
+	})
+	return out
+}
+
+// sortedFileNames returns p's file names in deterministic order.
+func sortedFileNames(p *Package) []string {
+	names := make([]string, 0, len(p.Files))
+	for n := range p.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parsePkg builds a Package from in-memory sources (filename -> content).
+func parsePkg(t *testing.T, dir string, files map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	p := &Package{Dir: dir, Fset: fset, Files: map[string]*ast.File{}}
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		p.Files[filepath.Join(dir, name)] = f
+		if p.Name == "" {
+			p.Name = f.Name.Name
+		}
+	}
+	return p
+}
+
+func TestNoGlobalHooksFlagsIdentifiers(t *testing.T) {
+	p := parsePkg(t, "internal/demo", map[string]string{
+		"demo.go": `// Package demo is a test fixture.
+package demo
+
+// SetProgress in a comment is fine; the identifier below is not.
+func SetRunner(f func()) { hooks = append(hooks, f) }
+
+var hooks []func()
+`,
+	})
+	got := NoGlobalHooks.Run(p)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "SetRunner") {
+		t.Fatalf("findings = %v, want one SetRunner finding", got)
+	}
+	if got[0].Pos.Line != 5 {
+		t.Errorf("finding at line %d, want 5 (comments must not be flagged)", got[0].Pos.Line)
+	}
+}
+
+func TestNoGlobalHooksCleanPackage(t *testing.T) {
+	p := parsePkg(t, "internal/demo", map[string]string{
+		"demo.go": "// Package demo is a test fixture.\npackage demo\n\nfunc SetLimit(n int) {}\n",
+	})
+	if got := NoGlobalHooks.Run(p); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestRegistryCountersFlagsRawFields(t *testing.T) {
+	p := parsePkg(t, "internal/cpu", map[string]string{
+		"config.go": `// Package cpu is a test fixture.
+package cpu
+
+type Stats struct {
+	Retired Counter
+	Stalls  uint64
+	Buckets []int64
+}
+
+type Counter struct{ v uint64 }
+
+type Unguarded struct{ N int }
+`,
+	})
+	got := RegistryCounters.Run(p)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want raw uint64 and []int64 fields flagged", got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Msg, "Stats declares a raw") {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+}
+
+func TestRegistryCountersIgnoresOtherPackages(t *testing.T) {
+	p := parsePkg(t, "internal/exp", map[string]string{
+		"exp.go": "// Package exp is a test fixture.\npackage exp\n\ntype Stats struct{ N int }\n",
+	})
+	if got := RegistryCounters.Run(p); len(got) != 0 {
+		t.Fatalf("findings = %v, want none outside guarded packages", got)
+	}
+}
+
+func TestPackageDocs(t *testing.T) {
+	missing := parsePkg(t, "internal/demo", map[string]string{
+		"a.go": "package demo\n",
+		"b.go": "// helper file\npackage demo\n",
+	})
+	if got := PackageDocs.Run(missing); len(got) != 1 {
+		t.Fatalf("findings = %v, want one missing-doc finding", got)
+	}
+	documented := parsePkg(t, "internal/demo", map[string]string{
+		"a.go": "package demo\n",
+		"doc.go": `// Package demo is a test fixture with a proper doc
+// comment spanning two lines.
+package demo
+`,
+	})
+	if got := PackageDocs.Run(documented); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+	outside := parsePkg(t, "cmd/demo", map[string]string{"main.go": "package main\n"})
+	if got := PackageDocs.Run(outside); len(got) != 0 {
+		t.Fatalf("findings = %v, want none outside internal/", got)
+	}
+}
+
+// TestRepositoryIsClean runs the full analyzer set over the actual
+// repository — the same invocation CI's vet step performs.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded %d packages, expected the full repository", len(pkgs))
+	}
+	for _, f := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestLoadSkipsTestdata(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("Load descended into %s", p.Dir)
+		}
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

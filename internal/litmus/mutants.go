@@ -1,0 +1,130 @@
+package litmus
+
+import (
+	"sfence/internal/isa"
+	"sfence/internal/machine"
+)
+
+// UnderScopedMutants returns deliberately under-scoped variants of the
+// store-buffering litmus — the negative controls for the static scope
+// analyzer. Each takes a correctly scoped SB and weakens exactly one
+// annotation, so scopecheck.Verify must flag an Error AND the relaxed
+// (0,0) outcome must be dynamically observable: the static and dynamic
+// oracles have to agree that the scope leaks. They are not part of All()
+// (which feeds the golden outcome file); the scope gate and
+// mutants_test.go iterate them separately.
+func UnderScopedMutants() []*Test {
+	return []*Test{
+		SetSBUnflaggedStores(),
+		ClassSBWrongClass(),
+	}
+}
+
+// StaticOnlyMutants returns under-scoped programs whose leak the
+// deterministic machine's timing happens to mask: the static analyzer
+// must still flag them, because under-scoping is a property of the
+// program, not of one schedule. SetSBOneSideUnflagged's leak surfaces
+// only as the SC-legal (1,0) outcome here — a different cache timing
+// would expose it, and only the static check catches that class of bug.
+func StaticOnlyMutants() []*Test {
+	return []*Test{SetSBOneSideUnflagged()}
+}
+
+// setSBThread emits one SB thread with independently controllable store
+// and load flags: X = 1; sfence(set); r = Y; result = r.
+func setSBThread(b *isa.Builder, store, load, result int64, flagStore, flagLoad bool) {
+	b.MovI(isa.R1, store)
+	b.MovI(isa.R2, 1)
+	if flagStore {
+		b.SetFlagged()
+	}
+	b.Store(isa.R1, 0, isa.R2)
+	b.Fence(isa.ScopeSet)
+	b.MovI(isa.R3, load)
+	if flagLoad {
+		b.SetFlagged()
+	}
+	b.Load(isa.R4, isa.R3, 0)
+	b.MovI(isa.R5, result)
+	b.Store(isa.R5, 0, isa.R4)
+	b.Halt()
+}
+
+// SetSBUnflaggedStores is set-scoped SB with the loads flagged but both
+// stores left out of the set: the S-Fences have nothing pending to drain,
+// so the stores slip past them and the forbidden SB outcome reappears.
+// Statically, each store is an escaping pending access inside the set
+// domain (its location is flagged by the other thread's load) that the
+// fence's scope fails to cover — an Error.
+func SetSBUnflaggedStores() *Test {
+	b := isa.NewBuilder()
+	b.Entry("p0")
+	b.Inline(func(b *isa.Builder) { setSBThread(b, AddrX, AddrY, AddrR1, false, true) })
+	b.Entry("p1")
+	b.Inline(func(b *isa.Builder) { setSBThread(b, AddrY, AddrX, AddrR2, false, true) })
+	return &Test{
+		Name:    "SB(set, stores unflagged — under-scoped mutant)",
+		Program: b.MustBuild(),
+		Threads: []machine.Thread{{Entry: "p0"}, {Entry: "p1"}},
+		Forbidden: func(o Outcome) bool {
+			return false // under-scoped by design: nothing is promised
+		},
+	}
+}
+
+// SetSBOneSideUnflagged weakens only thread p1's store: p0 is annotated
+// correctly, so the leak is one-sided — the minimal mutation distance
+// from a sound program.
+func SetSBOneSideUnflagged() *Test {
+	b := isa.NewBuilder()
+	b.Entry("p0")
+	b.Inline(func(b *isa.Builder) { setSBThread(b, AddrX, AddrY, AddrR1, true, true) })
+	b.Entry("p1")
+	b.Inline(func(b *isa.Builder) { setSBThread(b, AddrY, AddrX, AddrR2, false, true) })
+	return &Test{
+		Name:    "SB(set, one store unflagged — under-scoped mutant)",
+		Program: b.MustBuild(),
+		Threads: []machine.Thread{{Entry: "p0"}, {Entry: "p1"}},
+		Forbidden: func(o Outcome) bool {
+			return false
+		},
+	}
+}
+
+// ClassSBWrongClass is class-scoped SB where the stores sit in class 1
+// but the fence scopes class 2 (which holds only the loads): a
+// well-bracketed program whose fence nonetheless orders the wrong class.
+// Unlike ScopedSBLeaky the stores ARE inside a bracket — the mutation is
+// the class mismatch, not a missing bracket.
+func ClassSBWrongClass() *Test {
+	b := isa.NewBuilder()
+	thread := func(store, load, result int64) func(*isa.Builder) {
+		return func(b *isa.Builder) {
+			b.MovI(isa.R1, store)
+			b.MovI(isa.R2, 1)
+			b.FsStart(1)
+			b.Store(isa.R1, 0, isa.R2) // class 1
+			b.FsEnd(1)
+			b.FsStart(2)
+			b.Fence(isa.ScopeClass) // orders class 2 only: not the store
+			b.MovI(isa.R3, load)
+			b.Load(isa.R4, isa.R3, 0) // class 2
+			b.FsEnd(2)
+			b.MovI(isa.R5, result)
+			b.Store(isa.R5, 0, isa.R4)
+			b.Halt()
+		}
+	}
+	b.Entry("p0")
+	b.Inline(thread(AddrX, AddrY, AddrR1))
+	b.Entry("p1")
+	b.Inline(thread(AddrY, AddrX, AddrR2))
+	return &Test{
+		Name:    "SB(class, fence scopes wrong class — under-scoped mutant)",
+		Program: b.MustBuild(),
+		Threads: []machine.Thread{{Entry: "p0"}, {Entry: "p1"}},
+		Forbidden: func(o Outcome) bool {
+			return false
+		},
+	}
+}

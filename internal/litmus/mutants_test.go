@@ -1,0 +1,55 @@
+package litmus
+
+import (
+	"testing"
+
+	"sfence/internal/isa"
+	"sfence/internal/scopecheck"
+)
+
+// Every under-scoped mutant must be caught by BOTH oracles: the static
+// analyzer flags an Error, and the machine actually exhibits the relaxed
+// SB outcome the weakened fence no longer forbids. Together with the
+// clean verification of every correctly annotated program (litmus
+// families, kernels, fuzz corpus), this pins the analyzer's precision
+// from both sides.
+func TestUnderScopedMutantsFlaggedStatically(t *testing.T) {
+	for _, lt := range append(UnderScopedMutants(), StaticOnlyMutants()...) {
+		sc := lt.Scenario()
+		rep, err := scopecheck.Verify(&sc)
+		if err != nil {
+			t.Fatalf("%s: %v", lt.Name, err)
+		}
+		if !rep.HasErrors() {
+			t.Errorf("%s: static verification found no Error; report:\n%s", lt.Name, rep)
+		}
+	}
+}
+
+func TestUnderScopedMutantsViolateDynamically(t *testing.T) {
+	for _, lt := range UnderScopedMutants() {
+		o := runTest(t, lt, DefaultMachineConfig())
+		if !(o.R[0] == 0 && o.R[1] == 0) {
+			t.Errorf("%s: relaxed SB outcome not observed (got %v) — the weakened fence still orders the stores, so this mutant is not a faithful negative control", lt.Name, o)
+		}
+	}
+}
+
+// The correctly annotated SB variants the mutants were derived from must
+// stay clean — the analyzer separates a sound annotation from its
+// one-mutation-away neighbours.
+func TestMutantBaselinesVerifyClean(t *testing.T) {
+	for _, lt := range []*Test{
+		StoreBuffering(true, isa.ScopeSet),
+		ClassScopedSB(),
+	} {
+		sc := lt.Scenario()
+		rep, err := scopecheck.Verify(&sc)
+		if err != nil {
+			t.Fatalf("%s: %v", lt.Name, err)
+		}
+		if rep.HasErrors() {
+			t.Errorf("%s: correct annotations flagged:\n%s", lt.Name, rep)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package litmus
+
+import (
+	"sfence/internal/isa"
+	"sfence/internal/scopecheck"
+)
+
+// Scenario adapts the litmus test for static scope verification. Litmus
+// programs form every address from constants, so no regions need to be
+// declared: the analysis resolves every footprint word-exactly. The
+// shared variables and the per-thread observation slots are still named
+// as regions for readable reports.
+func (t *Test) Scenario() scopecheck.Scenario {
+	threads := make([]scopecheck.Thread, len(t.Threads))
+	for i, th := range t.Threads {
+		threads[i] = scopecheck.Thread{Entry: th.Entry, Regs: th.Regs}
+	}
+	return scopecheck.Scenario{
+		Name:    t.Name,
+		Prog:    t.Program,
+		Threads: threads,
+		Regions: []scopecheck.Region{
+			{Name: "vars", Base: AddrX, Words: (AddrY - AddrX + 64) / 8, Sharing: scopecheck.SharedRW, Owner: -1},
+			{Name: "results", Base: AddrR1, Words: (AddrR4 - AddrR1 + 64) / 8, Sharing: scopecheck.SharedRW, Owner: -1},
+		},
+	}
+}
+
+// All returns every litmus family at its default parameters — the
+// enumeration the golden file, the clock-equivalence suite, and the
+// static scope-verification gate share. MisScoped reports which tests
+// are weak or mis-scoped by design (their annotations do not promise
+// SC), so scope verification knows not to expect them clean.
+func All() []*Test {
+	return []*Test{
+		StoreBuffering(false, isa.ScopeGlobal),
+		StoreBuffering(true, isa.ScopeGlobal),
+		StoreBuffering(true, isa.ScopeSet),
+		MessagePassing(false),
+		MessagePassing(true),
+		LoadBuffering(),
+		IRIW(),
+		ClassScopedSB(),
+		ScopedSBLeaky(),
+		SBWithStoreStoreFence(),
+		MessagePassingSS(isa.ScopeGlobal),
+		MessagePassingSS(isa.ScopeClass),
+		CASIncrement(4, 16),
+		CoWW(),
+		MessagePassingFiner(),
+	}
+}
+
+// MisScoped reports whether the named test carries deliberately unsound
+// scope annotations (ScopedSBLeaky): static verification must flag it,
+// and must flag nothing else in All().
+func MisScoped(name string) bool {
+	return name == ScopedSBLeaky().Name
+}

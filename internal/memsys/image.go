@@ -77,6 +77,16 @@ type Layout struct {
 	next  int64
 	limit int64
 	names map[string]int64
+	order []NamedRegion
+}
+
+// NamedRegion records one named allocation of a Layout: base byte
+// address and length in words. The static scope analyzer consumes these
+// as its region declarations.
+type NamedRegion struct {
+	Name  string
+	Base  int64
+	Words int64
 }
 
 // NewLayout returns a Layout allocating from [base, limit).
@@ -103,6 +113,7 @@ func (l *Layout) Array(name string, n int64) int64 {
 		panic(fmt.Sprintf("memsys: layout overflow allocating %q (%d words)", name, n))
 	}
 	l.names[name] = addr
+	l.order = append(l.order, NamedRegion{Name: name, Base: addr, Words: n})
 	return addr
 }
 
@@ -128,3 +139,8 @@ func (l *Layout) Addr(name string) int64 {
 
 // End returns the first unallocated byte address.
 func (l *Layout) End() int64 { return l.next }
+
+// Regions returns every named allocation in allocation order.
+func (l *Layout) Regions() []NamedRegion {
+	return append([]NamedRegion(nil), l.order...)
+}

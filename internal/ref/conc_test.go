@@ -190,9 +190,10 @@ func TestParseVariant(t *testing.T) {
 
 // TestCheckConcurrentSeeds is the committed, always-on slice of the
 // concurrent differential: a fixed seed sweep through the full check —
-// SC oracle vs full machine, three fence variants, naive vs event-driven
-// clocks, hierarchy depths 2 and 3 — that plain `go test` runs on every
-// change. FuzzConcDifferential explores beyond these seeds.
+// SC oracle vs full machine, three fence variants plus the statically
+// inferred lowering, naive vs event-driven clocks, hierarchy depths 2
+// and 3 — that plain `go test` runs on every change.
+// FuzzConcDifferential explores beyond these seeds.
 func TestCheckConcurrentSeeds(t *testing.T) {
 	depths := []int{2, 3}
 	n := int64(12)
@@ -207,11 +208,15 @@ func TestCheckConcurrentSeeds(t *testing.T) {
 		if rep.Threads < 2 || rep.Threads > concMaxThreads {
 			t.Fatalf("seed %d: %d threads out of range", seed, rep.Threads)
 		}
-		if want := len(depths) * NumVariants; len(rep.Runs) != want {
+		if want := len(depths) * (NumVariants + 1); len(rep.Runs) != want {
 			t.Fatalf("seed %d: %d runs, want %d", seed, len(rep.Runs), want)
 		}
 		if rep.OracleSteps <= 0 {
 			t.Fatalf("seed %d: oracle executed %d steps", seed, rep.OracleSteps)
+		}
+		if rep.InferredFences <= 0 || rep.InferredFlagged <= 0 {
+			t.Fatalf("seed %d: inference rewrote %d fences, flagged %d accesses; every scenario synchronizes",
+				seed, rep.InferredFences, rep.InferredFlagged)
 		}
 	}
 }

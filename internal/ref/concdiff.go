@@ -39,6 +39,10 @@ type ConcReport struct {
 	Insts       [NumVariants]int // instruction count per variant
 	OracleSteps int
 	Runs        []ConcRun
+	// Static scope-inference accounting for the fourth, analysis-derived
+	// lowering (see checkScopesStatically).
+	InferredFences  int // fences rewritten to set scope
+	InferredFlagged int // accesses flagged by inference
 }
 
 // concMachineConfig returns the machine configuration the checker runs a
@@ -53,14 +57,14 @@ func concMachineConfig(threads, depth int) machine.Config {
 	return cfg
 }
 
-// newConcMachine builds a machine for one variant of cp at the given
+// newConcMachine builds a machine for one lowering of cp at the given
 // hierarchy depth, with the scenario's initial registers and memory.
-func newConcMachine(cp *ConcProgram, v Variant, depth int) (*machine.Machine, error) {
+func newConcMachine(cp *ConcProgram, v Variant, prog *isa.Program, depth int) (*machine.Machine, error) {
 	threads := make([]machine.Thread, cp.NumThreads)
 	for t := range threads {
 		threads[t] = machine.Thread{Entry: ConcEntry(t), Regs: cp.Regs[t]}
 	}
-	m, err := machine.New(concMachineConfig(cp.NumThreads, depth), cp.Variants[v], threads)
+	m, err := machine.New(concMachineConfig(cp.NumThreads, depth), prog, threads)
 	if err != nil {
 		return nil, fmt.Errorf("ref: machine for variant %v depth %d: %w", v, depth, err)
 	}
@@ -170,20 +174,27 @@ func checkAgainstOracle(label string, m *machine.Machine, oracle *ConcState, thr
 //
 //  1. the round-robin SC oracle (RunConc) executes the traditional
 //     variant — fences are functionally transparent there, so one oracle
-//     run covers all three lowerings;
-//  2. for every hierarchy depth in depths and every fence variant, the
-//     full machine runs the scenario twice — naive per-cycle stepping and
-//     the two-speed event-driven clock — and the two runs must be
-//     bit-identical (cycles, full stats registry, all registers, whole
-//     image);
-//  3. each machine run's checked projection (per-thread R1-R12 plus the
+//     run covers every lowering;
+//  2. the static scope analyzer verifies the class and set lowerings
+//     clean (their annotations are correct by construction, so a finding
+//     is an analyzer or generator bug) and infers a fourth, set-scoped
+//     lowering from the unannotated traditional variant;
+//  3. for every hierarchy depth in depths and every lowering — the three
+//     generated ones plus the inferred one — the full machine runs the
+//     scenario twice — naive per-cycle stepping and the two-speed
+//     event-driven clock — and the two runs must be bit-identical
+//     (cycles, full stats registry, all registers, whole image);
+//  4. each machine run's checked projection (per-thread R1-R12 plus the
 //     scenario's memory footprint) must equal the oracle's exactly.
 //
-// Step 3 against the one shared oracle transitively forces all variants
+// Step 4 against the one shared oracle transitively forces all lowerings
 // and all depths to agree on final architectural state — the paper's
 // semantics-preservation claim — while allowing them to differ on every
-// timing observable. Any divergence returns a descriptive error; nil
-// means the scenario passed everywhere.
+// timing observable. For the inferred lowering it is the dynamic half of
+// inference soundness: the static narrowing must preserve the checked
+// projection on real hardware timings, not just under the analyzer's own
+// model. Any divergence returns a descriptive error; nil means the
+// scenario passed everywhere.
 func CheckConcurrent(seed int64, depths []int) (*ConcReport, error) {
 	cp := GenConcurrent(seed)
 	rep := &ConcReport{Seed: seed, Threads: cp.NumThreads}
@@ -201,14 +212,31 @@ func CheckConcurrent(seed int64, depths []int) (*ConcReport, error) {
 	}
 	rep.OracleSteps = oracle.Steps
 
+	inferred, info, err := checkScopesStatically(cp)
+	if err != nil {
+		return rep, err
+	}
+	rep.InferredFences = info.Fences
+	rep.InferredFlagged = len(info.Flagged)
+
+	lowerings := []struct {
+		v    Variant
+		prog *isa.Program
+	}{
+		{VariantTraditional, cp.Variants[VariantTraditional]},
+		{VariantClass, cp.Variants[VariantClass]},
+		{VariantSet, cp.Variants[VariantSet]},
+		{VariantInferred, inferred},
+	}
 	for _, depth := range depths {
-		for v := Variant(0); v < NumVariants; v++ {
+		for _, low := range lowerings {
+			v := low.v
 			label := fmt.Sprintf("seed %d variant %v depth %d", seed, v, depth)
-			mN, err := newConcMachine(cp, v, depth)
+			mN, err := newConcMachine(cp, v, low.prog, depth)
 			if err != nil {
 				return rep, err
 			}
-			mE, err := newConcMachine(cp, v, depth)
+			mE, err := newConcMachine(cp, v, low.prog, depth)
 			if err != nil {
 				return rep, err
 			}

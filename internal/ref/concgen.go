@@ -31,6 +31,8 @@ func (v Variant) String() string {
 		return "class"
 	case VariantSet:
 		return "set"
+	case VariantInferred:
+		return "inferred"
 	}
 	return fmt.Sprintf("Variant(%d)", uint8(v))
 }

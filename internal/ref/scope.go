@@ -1,0 +1,105 @@
+package ref
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+	"sfence/internal/scopecheck"
+)
+
+// VariantInferred labels the fourth, statically derived lowering that
+// CheckConcurrent runs alongside the three generated ones: the
+// traditional variant rewritten by scopecheck.Infer (set-scoped fences,
+// analysis-chosen flags). It is not part of NumVariants — it has no
+// lowering of its own and exists only as a rewrite.
+const VariantInferred Variant = NumVariants
+
+// concRegions declares the generated scenarios' fixed memory map for the
+// static scope analyzer. Every generated address is formed from
+// constants, so the declarations only name the atoms in reports and give
+// escape analysis its coarsening grain.
+func concRegions(threads int) []scopecheck.Region {
+	shared := func(name string, base, end int64) scopecheck.Region {
+		return scopecheck.Region{Name: name, Base: base, Words: (end - base) / 8, Sharing: scopecheck.SharedRW, Owner: -1}
+	}
+	rs := []scopecheck.Region{
+		shared("turn", concTurnAddr, concTurnAddr+8),
+		shared("counters", concCounterBase, concScratchBase),
+		shared("scratch", concScratchBase, concLockBase),
+		shared("locks", concLockBase, concDekkerBase),
+		shared("dekker", concDekkerBase, concChanBase),
+		shared("chans", concChanBase, concPrivBase),
+	}
+	for t := 0; t < threads; t++ {
+		rs = append(rs, scopecheck.Region{
+			Name: fmt.Sprintf("priv%d", t), Base: concPrivAddr(t), Words: concPrivStride / 8,
+			Sharing: scopecheck.Private, Owner: t,
+		})
+	}
+	return rs
+}
+
+// scenarioFor wraps an arbitrary lowering of cp for static analysis.
+func (cp *ConcProgram) scenarioFor(label string, prog *isa.Program) scopecheck.Scenario {
+	threads := make([]scopecheck.Thread, cp.NumThreads)
+	for t := range threads {
+		threads[t] = scopecheck.Thread{Entry: ConcEntry(t), Regs: cp.Regs[t]}
+	}
+	return scopecheck.Scenario{
+		Name:    fmt.Sprintf("seed %d %s", cp.Seed, label),
+		Prog:    prog,
+		Threads: threads,
+		Regions: concRegions(cp.NumThreads),
+	}
+}
+
+// Scenario adapts one generated variant for static scope analysis.
+func (cp *ConcProgram) Scenario(v Variant) scopecheck.Scenario {
+	return cp.scenarioFor(v.String(), cp.Variants[v])
+}
+
+// VerifyScopes runs only the static half of CheckConcurrent for seed:
+// verify the hand-lowered class and set variants clean, infer a
+// set-scoped lowering from the traditional variant, and verify that too.
+// It is the corpus leg of the repository's static scope gate
+// (sfence-sim -scopecheck), where the dynamic runs would be redundant
+// with the fuzz tests.
+func VerifyScopes(seed int64) (*scopecheck.InferInfo, error) {
+	_, info, err := checkScopesStatically(GenConcurrent(seed))
+	return info, err
+}
+
+// checkScopesStatically is the static half of the fuzz loop's
+// scope-checking: both hand-lowered scoped variants must verify with no
+// errors (their annotations are correct by construction, so any Error is
+// an analyzer false positive or a generator bug), and scope inference
+// over the unannotated traditional variant must yield a program that
+// itself verifies clean. The returned inferred program is then run as a
+// fourth variant through the bit-identity and oracle checks — the
+// dynamic half: static narrowing must preserve the checked projection.
+func checkScopesStatically(cp *ConcProgram) (*isa.Program, *scopecheck.InferInfo, error) {
+	for _, v := range []Variant{VariantClass, VariantSet} {
+		sc := cp.Scenario(v)
+		srep, err := scopecheck.Verify(&sc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("seed %d: %v variant: static scope analysis: %w", cp.Seed, v, err)
+		}
+		if srep.HasErrors() {
+			return nil, nil, fmt.Errorf("seed %d: %v variant: static scope verification flagged a correct lowering:\n%s", cp.Seed, v, srep)
+		}
+	}
+	tsc := cp.Scenario(VariantTraditional)
+	prog, info, err := scopecheck.Infer(&tsc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seed %d: scope inference: %w", cp.Seed, err)
+	}
+	isc := cp.scenarioFor("inferred", prog)
+	srep, err := scopecheck.Verify(&isc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seed %d: inferred variant: static scope analysis: %w", cp.Seed, err)
+	}
+	if srep.HasErrors() {
+		return nil, nil, fmt.Errorf("seed %d: inferred variant fails its own verification:\n%s", cp.Seed, srep)
+	}
+	return prog, info, nil
+}

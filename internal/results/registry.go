@@ -186,6 +186,11 @@ func Experiments() []ExperimentSpec {
 			(*exp.Session).FigureDepth,
 			func(su *Suite, v []exp.BenchGroup) { su.FigureDepth = v },
 			func(su *Suite) []exp.BenchGroup { return su.FigureDepth }),
+		groupFigureSpec("fig-inferred", KindInferred, "BENCH_INFERRED.json",
+			"Inferred scopes — T (traditional), S (hand annotations), I (static inference)",
+			(*exp.Session).FigureInferred,
+			func(su *Suite, v []exp.BenchGroup) { su.FigureInferred = v },
+			func(su *Suite) []exp.BenchGroup { return su.FigureInferred }),
 	}
 	for _, a := range AblationSpecs() {
 		specs = append(specs, ablationExperimentSpec(a))

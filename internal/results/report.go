@@ -194,6 +194,51 @@ func Claims() []Claim {
 			},
 		},
 		{
+			Kind: KindInferred,
+			Text: "(beyond the paper) Static scope inference recovers the hand " +
+				"annotations' benefit wherever address arithmetic is statically " +
+				"resolvable (dekker, wsq, msn, barnes, radiosity), and on the " +
+				"pointer-chasing applications degrades soundly toward traditional " +
+				"fences — it never loses to them anywhere.",
+			Check: func(s *Suite) (string, bool) {
+				// The kernels whose shared-access addresses the abstract
+				// interpreter resolves exactly; the rest reach shared data
+				// through loaded pointers, where over-flagging is the sound
+				// outcome.
+				resolvable := map[string]bool{
+					"dekker": true, "wsq": true, "msn": true, "barnes": true, "radiosity": true,
+				}
+				ok := len(s.FigureInferred) == 8
+				worstVsT, worstVsS := 0.0, 0.0
+				for _, g := range s.FigureInferred {
+					if len(g.Bars) != 3 {
+						return "malformed groups", false
+					}
+					T, S, I := g.Bars[0], g.Bars[1], g.Bars[2]
+					if T.Total() == 0 || S.Total() == 0 {
+						return "zero baseline", false
+					}
+					noise := 0.05
+					if g.Bench == "ptc" {
+						noise = 0.10 // dynamic schedule
+					}
+					if I.Total() > T.Total()+noise {
+						ok = false
+					}
+					if resolvable[g.Bench] && I.Total() > S.Total()+noise {
+						ok = false
+					}
+					if r := I.Total() / T.Total(); r > worstVsT {
+						worstVsT = r
+					}
+					if r := I.Total() / S.Total(); resolvable[g.Bench] && r > worstVsS {
+						worstVsS = r
+					}
+				}
+				return fmt.Sprintf("worst I/T=%.3f overall, worst I/S=%.3f on resolvable kernels", worstVsT, worstVsS), ok
+			},
+		},
+		{
 			Kind: KindHardwareCost,
 			Text: "The S-Fence hardware costs less than 80 bytes of storage per core " +
 				"for the Table III configuration.",
@@ -285,6 +330,23 @@ func (s *Suite) ExperimentsMD() string {
 		"typically widens) with depth, the same qualitative conclusion as the paper's " +
 		"latency sweep: the fence-stall cost S-Fence removes scales with the memory system, " +
 		"not with the fence count.\n\n")
+
+	section(kindTitles[KindInferred], exp.RenderGroups("Inferred scopes — T (traditional), S (hand annotations), I (static inference)", s.FigureInferred))
+	sb.WriteString("The inferred-scope experiment runs every Table IV benchmark a third way: the " +
+		"unannotated (traditional) build is handed to `scopecheck.Infer`, which computes each " +
+		"fence's pending-access footprint by abstract interpretation, rewrites every fence to " +
+		"set scope, and flags exactly the thread-escaping accesses whose ordering the fence " +
+		"must enforce — the paper's Section IV compiler support as a working analysis, with no " +
+		"hand annotations anywhere. Where the interpreter resolves every shared-access address " +
+		"(dekker, wsq, msn, barnes, radiosity) the inferred configuration (I) matches the " +
+		"hand-annotated one (S) within noise: the annotations carry no information the analysis " +
+		"cannot recover from the program text. Where shared data is reached through loaded " +
+		"pointers (harris's node chases, pst/ptc's queue buffers and CSR-indexed arrays) the " +
+		"analysis over-flags conservatively and I degrades toward T — soundness means precision " +
+		"loss can only add ordering, never remove it, so inference never loses to traditional " +
+		"fences anywhere. The same inference is verified dynamically in `internal/ref`: every fuzzed " +
+		"scenario's inferred lowering must be bit-identical across simulator clocks and agree " +
+		"with the SC oracle's checked projection.\n\n")
 
 	sb.WriteString("## Ablations (beyond the paper)\n\n")
 	for _, set := range s.Ablations {

@@ -127,6 +127,7 @@ const (
 	KindFigure15     = "figure15"
 	KindFigure16     = "figure16"
 	KindFigureDepth  = "figure-depth"
+	KindInferred     = "figure-inferred"
 	KindAblations    = "ablations"
 	KindTableIII     = "tableIII"
 	KindTableIV      = "tableIV"
@@ -141,6 +142,7 @@ var kindTitles = map[string]string{
 	KindFigure15:     "Figure 15 — Varying memory access latency (200/300/500 cycles)",
 	KindFigure16:     "Figure 16 — Varying ROB size (64/128/256 entries)",
 	KindFigureDepth:  "Depth sweep — Varying memory-hierarchy depth (2/3/4 levels, beyond the paper)",
+	KindInferred:     "Inferred scopes — hand annotations vs. static scope inference (beyond the paper)",
 	KindAblations:    "Ablations — design-choice sweeps beyond the paper",
 	KindTableIII:     "Table III — Architectural parameters",
 	KindTableIV:      "Table IV — Benchmark description",

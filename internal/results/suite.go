@@ -33,17 +33,21 @@ type SuiteOptions struct {
 // plus the repository's extra ablations — the full input to both the
 // BENCH_*.json artifacts and EXPERIMENTS.md.
 type Suite struct {
-	Scale        exp.Scale
-	Figure12     []exp.SpeedupSeries
-	Figure13     []exp.BenchGroup
-	Figure14     []exp.BenchGroup
-	Figure15     []exp.BenchGroup
-	Figure16     []exp.BenchGroup
-	FigureDepth  []exp.BenchGroup
-	Ablations    []AblationSet
-	HardwareCost exp.HardwareCostReport
-	TableIII     []exp.TableIIIRow
-	TableIV      []BenchmarkInfo
+	Scale       exp.Scale
+	Figure12    []exp.SpeedupSeries
+	Figure13    []exp.BenchGroup
+	Figure14    []exp.BenchGroup
+	Figure15    []exp.BenchGroup
+	Figure16    []exp.BenchGroup
+	FigureDepth []exp.BenchGroup
+	// FigureInferred compares traditional fences, the hand-written scope
+	// annotations, and statically inferred scopes (kernels.Inferred) on
+	// every Table IV benchmark.
+	FigureInferred []exp.BenchGroup
+	Ablations      []AblationSet
+	HardwareCost   exp.HardwareCostReport
+	TableIII       []exp.TableIIIRow
+	TableIV        []BenchmarkInfo
 
 	// SimRequests and SimDistinct count the simulations the experiments
 	// asked for and the distinct configurations among them. Both are

@@ -1,0 +1,872 @@
+package scopecheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sfence/internal/isa"
+)
+
+// Abstract value lattice: Bot ⊑ Const ⊑ Range ⊑ Region ⊑ Top.
+//
+//   - Const is a known 64-bit value.
+//   - Range is a closed interval [lo,hi] (loop indices, masked offsets).
+//   - Region says "some address inside these declared regions" (mask bit
+//     per region, maskUnmapped for none-of-them). It arises from
+//     pointer arithmetic combining a region base with an unresolved
+//     offset — the region-closed contract: pointers derived from a
+//     region base stay inside that region.
+//   - Top is an arbitrary value; used as an address it attributes to
+//     every SharedRW region (private regions are never reached through
+//     loaded pointers — the second half of the contract).
+const (
+	vBot = iota
+	vConst
+	vRange
+	vRegion
+	vTop
+)
+
+type absVal struct {
+	kind uint8
+	lo   int64 // vConst (lo==hi) and vRange bounds
+	hi   int64
+	mask uint64 // vRegion
+}
+
+func cst(c int64) absVal { return absVal{kind: vConst, lo: c, hi: c} }
+func top() absVal        { return absVal{kind: vTop} }
+
+func rng(lo, hi int64) absVal {
+	if lo == hi {
+		return cst(lo)
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return absVal{kind: vRange, lo: lo, hi: hi}
+}
+
+// regionize maps a value onto the regions it may address: Const/Range by
+// coverage, Region as-is, Top (and Bot) to every shared region.
+func (rv *resolver) regionize(v absVal) absVal {
+	switch v.kind {
+	case vConst, vRange:
+		return absVal{kind: vRegion, mask: rv.coverMask(v.lo, v.hi)}
+	case vRegion:
+		return v
+	default:
+		return absVal{kind: vRegion, mask: rv.sharedMask()}
+	}
+}
+
+// coverMask returns the region atoms covering every byte of [lo,hi],
+// with maskUnmapped standing in for any uncovered part.
+func (rv *resolver) coverMask(lo, hi int64) uint64 {
+	var mask uint64
+	var covered int64
+	for i := range rv.regions {
+		r := rv.regions[i]
+		rend := r.Base + 8*r.Words
+		if r.Base > hi || rend <= lo {
+			continue
+		}
+		mask |= uint64(1) << uint(i)
+		a, b := max64(lo, r.Base), min64(hi, rend-1)
+		covered += b - a + 1
+	}
+	if covered < hi-lo+1 {
+		mask |= maskUnmapped
+	}
+	return mask
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// addOK reports whether a+b does not overflow.
+func addOK(a, b int64) bool {
+	s := a + b
+	return !((a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0))
+}
+
+// joinVal is the lattice join; widen collapses growing ranges to Top so
+// loop-carried indices converge (their addresses are recovered by the
+// region-closed Add rule).
+func joinVal(rv *resolver, a, b absVal, widen bool) absVal {
+	if a.kind == vBot {
+		return b
+	}
+	if b.kind == vBot {
+		return a
+	}
+	if a.kind == vTop || b.kind == vTop {
+		return top()
+	}
+	if a.kind == vRegion || b.kind == vRegion {
+		am, bm := rv.regionize(a), rv.regionize(b)
+		return absVal{kind: vRegion, mask: am.mask | bm.mask}
+	}
+	// Const/Range hull.
+	if a.kind == vConst && b.kind == vConst && a.lo == b.lo {
+		return a
+	}
+	if widen {
+		return top()
+	}
+	return rng(min64(a.lo, b.lo), max64(a.hi, b.hi))
+}
+
+// regionBase returns the single region index a value provably points
+// into, or -1. Used by the region-closed pointer-arithmetic rule.
+func (rv *resolver) regionBase(v absVal) int {
+	switch v.kind {
+	case vConst:
+		return rv.regionOf(v.lo)
+	case vRange:
+		r := rv.regionOf(v.lo)
+		if r >= 0 && rv.regions[r].Contains(v.hi) {
+			return r
+		}
+	case vRegion:
+		if v.mask != 0 && v.mask&(v.mask-1) == 0 && v.mask != maskUnmapped {
+			for i := 0; i < maxRegions; i++ {
+				if v.mask == uint64(1)<<uint(i) {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// addVals implements the Add transfer function with the region-closed
+// contract: base-in-region + unresolved offset stays in the region.
+func (rv *resolver) addVals(a, b absVal) absVal {
+	if a.kind == vBot || b.kind == vBot {
+		return top()
+	}
+	if (a.kind == vConst || a.kind == vRange) && (b.kind == vConst || b.kind == vRange) {
+		if addOK(a.lo, b.lo) && addOK(a.hi, b.hi) {
+			return rng(a.lo+b.lo, a.hi+b.hi)
+		}
+		return top()
+	}
+	// One side is Region or Top: keep the provable region of the other
+	// side (or of the Region side itself).
+	if a.kind == vRegion && b.kind == vRegion {
+		return absVal{kind: vRegion, mask: a.mask | b.mask}
+	}
+	for _, pair := range [2][2]absVal{{a, b}, {b, a}} {
+		x, y := pair[0], pair[1]
+		if y.kind == vRegion || y.kind == vTop {
+			if x.kind == vRegion {
+				return x
+			}
+			if r := rv.regionBase(x); r >= 0 {
+				return absVal{kind: vRegion, mask: uint64(1) << uint(r)}
+			}
+		}
+	}
+	return top()
+}
+
+// eval computes one ALU transfer. Unsupported shapes go to Top.
+func (a *analysis) eval(ins *isa.Instruction, regs *[isa.NumRegs]absVal) absVal {
+	rv := a.rv
+	s1, s2 := regs[ins.Rs1], regs[ins.Rs2]
+	switch ins.Op {
+	case isa.OpMovI:
+		return cst(ins.Imm)
+	case isa.OpAdd:
+		return rv.addVals(s1, s2)
+	case isa.OpAddI:
+		return rv.addVals(s1, cst(ins.Imm))
+	case isa.OpSub:
+		if s2.kind == vConst || s2.kind == vRange {
+			return rv.addVals(s1, rng(-s2.hi, -s2.lo))
+		}
+		if s1.kind == vRegion {
+			return s1
+		}
+		if r := rv.regionBase(s1); r >= 0 {
+			return absVal{kind: vRegion, mask: uint64(1) << uint(r)}
+		}
+		return top()
+	case isa.OpMul:
+		if s1.kind == vConst && s2.kind == vConst {
+			return cst(s1.lo * s2.lo)
+		}
+		if s2.kind == vConst {
+			s1, s2 = s2, s1
+		}
+		if s1.kind == vConst && s2.kind == vRange {
+			p1, p2 := s1.lo*s2.lo, s1.lo*s2.hi
+			// Guard against overflow with a coarse magnitude check.
+			if abs64(s1.lo) < 1<<20 && abs64(s2.lo) < 1<<40 && abs64(s2.hi) < 1<<40 {
+				return rng(min64(p1, p2), max64(p1, p2))
+			}
+		}
+		return top()
+	case isa.OpDiv:
+		if s1.kind == vConst && s2.kind == vConst {
+			if s2.lo == 0 {
+				return cst(0)
+			}
+			return cst(s1.lo / s2.lo)
+		}
+		return top()
+	case isa.OpRem:
+		if s1.kind == vConst && s2.kind == vConst {
+			if s2.lo == 0 {
+				return cst(0)
+			}
+			return cst(s1.lo % s2.lo)
+		}
+		if s2.kind == vConst && s2.lo > 0 {
+			return rng(-(s2.lo - 1), s2.lo-1)
+		}
+		return top()
+	case isa.OpAnd, isa.OpAndI:
+		m := s2
+		if ins.Op == isa.OpAndI {
+			m = cst(ins.Imm)
+		}
+		if s1.kind == vConst && m.kind == vConst {
+			return cst(s1.lo & m.lo)
+		}
+		if m.kind == vConst && m.lo >= 0 {
+			return rng(0, m.lo)
+		}
+		// Any mask (including negative align masks like -8) can only clear
+		// bits, so a nonnegative input bounds the result: 0 <= x&m <= x.
+		if (s1.kind == vConst || s1.kind == vRange) && s1.lo >= 0 {
+			return rng(0, s1.hi)
+		}
+		return top()
+	case isa.OpOr:
+		if s1.kind == vConst && s2.kind == vConst {
+			return cst(s1.lo | s2.lo)
+		}
+		return top()
+	case isa.OpXor, isa.OpXorI:
+		m := s2
+		if ins.Op == isa.OpXorI {
+			m = cst(ins.Imm)
+		}
+		if s1.kind == vConst && m.kind == vConst {
+			return cst(s1.lo ^ m.lo)
+		}
+		return top()
+	case isa.OpShl, isa.OpShlI:
+		k, ok := shiftAmount(ins, s2)
+		if !ok {
+			return top()
+		}
+		if s1.kind == vConst {
+			return cst(s1.lo << k)
+		}
+		if s1.kind == vRange && s1.lo >= 0 && s1.hi < math.MaxInt64>>k {
+			return rng(s1.lo<<k, s1.hi<<k)
+		}
+		return top()
+	case isa.OpShr, isa.OpShrI:
+		k, ok := shiftAmount(ins, s2)
+		if !ok {
+			return top()
+		}
+		switch s1.kind {
+		case vConst:
+			return cst(s1.lo >> k)
+		case vRange:
+			return rng(s1.lo>>k, s1.hi>>k)
+		}
+		return top()
+	case isa.OpSlt, isa.OpSeq:
+		if s1.kind == vConst && s2.kind == vConst {
+			if (ins.Op == isa.OpSlt && s1.lo < s2.lo) || (ins.Op == isa.OpSeq && s1.lo == s2.lo) {
+				return cst(1)
+			}
+			return cst(0)
+		}
+		return rng(0, 1)
+	case isa.OpSltI:
+		if s1.kind == vConst {
+			if s1.lo < ins.Imm {
+				return cst(1)
+			}
+			return cst(0)
+		}
+		return rng(0, 1)
+	}
+	return top()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// shiftAmount resolves the shift count of a Shl/Shr (register or
+// immediate form).
+func shiftAmount(ins *isa.Instruction, s2 absVal) (uint, bool) {
+	if ins.Op == isa.OpShlI || ins.Op == isa.OpShrI {
+		return uint(ins.Imm & 63), true
+	}
+	if s2.kind == vConst {
+		return uint(s2.lo & 63), true
+	}
+	return 0, false
+}
+
+// addrLocs maps an effective-address value (base register value + imm)
+// onto the locations it may touch.
+func (a *analysis) addrLocs(base absVal, imm int64) locSet {
+	rv := a.rv
+	v := rv.addVals(base, cst(imm))
+	var ls locSet
+	switch v.kind {
+	case vConst:
+		ls.addWord(rv, v.lo&^7)
+	case vRange:
+		// Enumerate aligned words for narrow ranges; coarsen to region
+		// atoms otherwise.
+		lo, hi := v.lo&^7, v.hi
+		if n := (hi - lo) / 8; n >= 0 && n < maxWords {
+			for w := lo; w <= hi; w += 8 {
+				ls.addWord(rv, w)
+			}
+		} else {
+			ls.mask = rv.coverMask(v.lo, v.hi)
+		}
+	case vRegion:
+		ls.mask = v.mask
+		if ls.mask&maskUnmapped != 0 {
+			// Unmapped-unknown shares the attribution of Top.
+			ls.mask |= rv.sharedMask()
+			ls.approx = true
+		}
+	default:
+		ls.mask = rv.sharedMask()
+		ls.approx = true
+	}
+	return ls
+}
+
+// pendRec is one may-pending memory access, keyed by its site pc: an
+// access that has been issued on some path and not yet provably ordered
+// by a fence that covers it.
+type pendRec struct {
+	loads   bool // a load may be pending (CAS sets both)
+	stores  bool
+	cas     bool   // the site is an atomic RMW
+	flagged bool   // static SetFlag on the instruction
+	cids    uint64 // class brackets active at issue (bit per cid index; bit63 unknown)
+	locs    locSet
+}
+
+func (p pendRec) clone() pendRec {
+	p.locs = p.locs.clone()
+	return p
+}
+
+// absState is the dataflow fact at a program point for one thread.
+type absState struct {
+	regs     [isa.NumRegs]absVal
+	brackets []int64 // active fs_start cid stack; -1 = unknown (join mismatch)
+	pend     map[int]pendRec
+}
+
+func (s *absState) clone() *absState {
+	c := &absState{regs: s.regs}
+	c.brackets = append([]int64(nil), s.brackets...)
+	c.pend = make(map[int]pendRec, len(s.pend))
+	for pc, p := range s.pend {
+		c.pend[pc] = p.clone()
+	}
+	return c
+}
+
+// joinInto merges o into s, returning whether s changed.
+func (a *analysis) joinInto(s, o *absState, widen bool) bool {
+	changed := false
+	for i := range s.regs {
+		j := joinVal(a.rv, s.regs[i], o.regs[i], widen)
+		if j != s.regs[i] {
+			s.regs[i] = j
+			changed = true
+		}
+	}
+	// Bracket stacks at a join point have equal depth (isa.Validate
+	// guarantees consistent scope depth per pc); mismatched cids become
+	// unknown.
+	if len(s.brackets) == len(o.brackets) {
+		for i := range s.brackets {
+			if s.brackets[i] != o.brackets[i] && s.brackets[i] != -1 {
+				s.brackets[i] = -1
+				changed = true
+			}
+		}
+	} else if len(o.brackets) < len(s.brackets) {
+		s.brackets = s.brackets[:len(o.brackets)]
+		changed = true
+	}
+	for pc, po := range o.pend {
+		ps, ok := s.pend[pc]
+		if !ok {
+			s.pend[pc] = po.clone()
+			changed = true
+			continue
+		}
+		before := ps
+		beforeWords, beforeMask := len(ps.locs.words), ps.locs.mask
+		ps.loads = ps.loads || po.loads
+		ps.stores = ps.stores || po.stores
+		ps.cas = ps.cas || po.cas
+		ps.flagged = ps.flagged || po.flagged
+		ps.cids |= po.cids
+		ps.locs.union(a.rv, po.locs)
+		if ps.loads != before.loads || ps.stores != before.stores || ps.cas != before.cas ||
+			ps.flagged != before.flagged || ps.cids != before.cids ||
+			len(ps.locs.words) != beforeWords || ps.locs.mask != beforeMask {
+			changed = true
+		}
+		s.pend[pc] = ps
+	}
+	return changed
+}
+
+// siteInfo accumulates per-access-site facts across threads and paths.
+type siteInfo struct {
+	locs    locSet
+	cids    uint64
+	flagged bool
+	loads   bool
+	stores  bool
+	cas     bool
+}
+
+// fenceObs is the joined pending set observed at one fence site by one
+// thread, the unit the verification pass consumes.
+type fenceObs struct {
+	thread int
+	pc     int
+	scope  isa.ScopeKind
+	order  isa.FenceOrder
+	cid    int64 // innermost bracket cid (-2 none, -1 unknown)
+	pend   map[int]pendRec
+}
+
+// analysis carries the cross-thread accumulations of one scenario.
+type analysis struct {
+	sc     *Scenario
+	rv     *resolver
+	cidIdx map[int64]int
+
+	access    map[int]*siteInfo
+	fences    map[[2]int]*fenceObs // (thread, pc) → joined observation
+	writes    []locSet             // per-thread write footprint
+	accesses  []locSet             // per-thread read∪write footprint
+	cidDomain map[int]*locSet      // cid index → locations accessed under that bracket
+	setDomain locSet
+	escaping  locSet
+}
+
+const (
+	widenAfter = 12
+	// stepBudget bounds fixpoint work per thread as a multiple of code
+	// size; exceeding it is an analysis bug, reported as an error.
+	stepBudget = 1 << 14
+)
+
+// cidBit maps a class id to its mask bit (bit63 for unknown).
+func (a *analysis) cidBit(cid int64) uint64 {
+	if cid == -1 {
+		return maskUnmapped
+	}
+	i, ok := a.cidIdx[cid]
+	if !ok {
+		return maskUnmapped
+	}
+	return uint64(1) << uint(i)
+}
+
+// bracketMask returns the bit set of all active brackets (inner implies
+// outer, matching the hardware's FSB mask at decode).
+func (a *analysis) bracketMask(brackets []int64) uint64 {
+	var m uint64
+	for _, cid := range brackets {
+		m |= a.cidBit(cid)
+	}
+	return m
+}
+
+// analyze runs the per-thread abstract interpretation and fills the
+// cross-thread accumulations.
+func analyze(sc *Scenario) (*analysis, error) {
+	if sc.Prog == nil || len(sc.Threads) == 0 {
+		return nil, fmt.Errorf("scopecheck: scenario %q has no program or threads", sc.Name)
+	}
+	if len(sc.Regions) > maxRegions {
+		return nil, fmt.Errorf("scopecheck: scenario %q declares %d regions (max %d)", sc.Name, len(sc.Regions), maxRegions)
+	}
+	if len(sc.Threads) > 64 {
+		return nil, fmt.Errorf("scopecheck: scenario %q has %d threads (max 64)", sc.Name, len(sc.Threads))
+	}
+	a := &analysis{
+		sc:        sc,
+		rv:        &resolver{regions: sc.Regions},
+		cidIdx:    map[int64]int{},
+		access:    map[int]*siteInfo{},
+		fences:    map[[2]int]*fenceObs{},
+		writes:    make([]locSet, len(sc.Threads)),
+		accesses:  make([]locSet, len(sc.Threads)),
+		cidDomain: map[int]*locSet{},
+	}
+	// Assign cid bits in sorted order for determinism.
+	var cids []int64
+	seen := map[int64]bool{}
+	for i := range sc.Prog.Code {
+		if sc.Prog.Code[i].Op == isa.OpFsStart && !seen[sc.Prog.Code[i].Imm] {
+			seen[sc.Prog.Code[i].Imm] = true
+			cids = append(cids, sc.Prog.Code[i].Imm)
+		}
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for i, cid := range cids {
+		idx := i
+		if idx >= 62 {
+			idx = 62 // overflow bucket: cids beyond 62 share a bit (conservative)
+		}
+		a.cidIdx[cid] = idx
+	}
+
+	for t := range sc.Threads {
+		if err := a.runThread(t); err != nil {
+			return nil, err
+		}
+	}
+
+	// Escape: written by one thread, read or written by another.
+	for i := range sc.Threads {
+		for j := range sc.Threads {
+			if i == j {
+				continue
+			}
+			inter := a.writes[i].intersect(a.rv, a.accesses[j])
+			a.escaping.union(a.rv, inter)
+		}
+	}
+	return a, nil
+}
+
+// runThread interprets one thread to fixpoint.
+func (a *analysis) runThread(t int) error {
+	sc := a.sc
+	entry, ok := sc.Prog.Entries[sc.Threads[t].Entry]
+	if !ok {
+		return fmt.Errorf("scopecheck: scenario %q thread %d: unknown entry %q", sc.Name, t, sc.Threads[t].Entry)
+	}
+	init := &absState{pend: map[int]pendRec{}}
+	for r, v := range sc.Threads[t].Regs {
+		if r != isa.R0 {
+			init.regs[r] = cst(v)
+		}
+	}
+	for i := range init.regs {
+		if init.regs[i].kind == vBot {
+			init.regs[i] = cst(0)
+		}
+	}
+
+	states := map[int]*absState{entry: init}
+	visits := map[int]int{}
+	work := []int{entry}
+	steps := 0
+	budget := stepBudget * (len(sc.Prog.Code) + 1)
+	for len(work) > 0 {
+		steps++
+		if steps > budget {
+			return fmt.Errorf("scopecheck: scenario %q thread %d: fixpoint exceeded %d steps", sc.Name, t, budget)
+		}
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if pc < 0 || pc >= len(sc.Prog.Code) {
+			continue
+		}
+		s := states[pc].clone()
+		ins := &sc.Prog.Code[pc]
+		succs := a.step(t, pc, ins, s)
+		for _, succ := range succs {
+			if succ < 0 || succ >= len(sc.Prog.Code) {
+				continue
+			}
+			cur, ok := states[succ]
+			if !ok {
+				states[succ] = s.clone()
+				work = append(work, succ)
+				continue
+			}
+			visits[succ]++
+			if a.joinInto(cur, s, visits[succ] > widenAfter) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return nil
+}
+
+// step executes one instruction on state s (mutating it) and returns the
+// successor pcs.
+func (a *analysis) step(t, pc int, ins *isa.Instruction, s *absState) []int {
+	switch ins.Op {
+	case isa.OpHalt:
+		return nil
+	case isa.OpJmp:
+		return []int{int(ins.Imm)}
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		s1, s2 := s.regs[ins.Rs1], s.regs[ins.Rs2]
+		if s1.kind == vConst && s2.kind == vConst {
+			taken := false
+			switch ins.Op {
+			case isa.OpBeq:
+				taken = s1.lo == s2.lo
+			case isa.OpBne:
+				taken = s1.lo != s2.lo
+			case isa.OpBlt:
+				taken = s1.lo < s2.lo
+			case isa.OpBge:
+				taken = s1.lo >= s2.lo
+			}
+			if taken {
+				return []int{int(ins.Imm)}
+			}
+			return []int{pc + 1}
+		}
+		return []int{int(ins.Imm), pc + 1}
+	case isa.OpFsStart:
+		s.brackets = append(s.brackets, ins.Imm)
+		return []int{pc + 1}
+	case isa.OpFsEnd:
+		if len(s.brackets) > 0 {
+			s.brackets = s.brackets[:len(s.brackets)-1]
+		}
+		return []int{pc + 1}
+	case isa.OpFence:
+		a.observeFence(t, pc, ins, s)
+		a.killPending(ins, s)
+		return []int{pc + 1}
+	case isa.OpLoad, isa.OpStore, isa.OpCAS:
+		a.recordAccess(t, pc, ins, s)
+		if ins.Op == isa.OpLoad && ins.Rd != isa.R0 {
+			s.regs[ins.Rd] = top()
+		}
+		if ins.Op == isa.OpCAS && ins.Rd != isa.R0 {
+			s.regs[ins.Rd] = rng(0, 1)
+		}
+		return []int{pc + 1}
+	default:
+		if ins.Writes() {
+			s.regs[ins.Rd] = a.eval(ins, &s.regs)
+		}
+		return []int{pc + 1}
+	}
+}
+
+// recordAccess folds one memory access into the footprints, domains, and
+// the pending set.
+func (a *analysis) recordAccess(t, pc int, ins *isa.Instruction, s *absState) {
+	locs := a.addrLocs(s.regs[ins.Rs1], ins.Imm)
+	cids := a.bracketMask(s.brackets)
+	isLoad := ins.Op == isa.OpLoad || ins.Op == isa.OpCAS
+	isStore := ins.Op == isa.OpStore || ins.Op == isa.OpCAS
+
+	si := a.access[pc]
+	if si == nil {
+		si = &siteInfo{}
+		a.access[pc] = si
+	}
+	si.locs.union(a.rv, locs)
+	si.cids |= cids
+	si.flagged = si.flagged || ins.SetFlag
+	si.loads = si.loads || isLoad
+	si.stores = si.stores || isStore
+	si.cas = si.cas || ins.Op == isa.OpCAS
+
+	a.accesses[t].union(a.rv, locs)
+	if isStore {
+		a.writes[t].union(a.rv, locs)
+	}
+	// Approximate footprints (pointer-chased, attributed to every shared
+	// region) never extend a synchronization domain: letting them in
+	// would make every out-of-scope escaping access look like a domain
+	// leak. Precision loss only weakens Error detection to Notes, never
+	// invents errors.
+	if !locs.approx {
+		for _, cid := range s.brackets {
+			if cid == -1 {
+				continue
+			}
+			idx, ok := a.cidIdx[cid]
+			if !ok {
+				continue
+			}
+			d := a.cidDomain[idx]
+			if d == nil {
+				d = &locSet{}
+				a.cidDomain[idx] = d
+			}
+			d.union(a.rv, locs)
+		}
+		if ins.SetFlag {
+			a.setDomain.union(a.rv, locs)
+		}
+	}
+
+	p, ok := s.pend[pc]
+	if !ok {
+		p = pendRec{}
+	}
+	p.loads = p.loads || isLoad
+	p.stores = p.stores || isStore
+	p.cas = p.cas || ins.Op == isa.OpCAS
+	p.flagged = p.flagged || ins.SetFlag
+	p.cids |= cids
+	p.locs.union(a.rv, locs)
+	s.pend[pc] = p
+}
+
+// observeFence joins the current pending set into the fence site's
+// observation.
+func (a *analysis) observeFence(t, pc int, ins *isa.Instruction, s *absState) {
+	cid := int64(-2)
+	if len(s.brackets) > 0 {
+		cid = s.brackets[len(s.brackets)-1]
+	}
+	key := [2]int{t, pc}
+	obs := a.fences[key]
+	if obs == nil {
+		obs = &fenceObs{thread: t, pc: pc, scope: ins.Scope, order: ins.Order, cid: cid, pend: map[int]pendRec{}}
+		a.fences[key] = obs
+	} else if obs.cid != cid {
+		obs.cid = -1
+	}
+	for spc, p := range s.pend {
+		cur, ok := obs.pend[spc]
+		if !ok {
+			obs.pend[spc] = p.clone()
+			continue
+		}
+		cur.loads = cur.loads || p.loads
+		cur.stores = cur.stores || p.stores
+		cur.cas = cur.cas || p.cas
+		cur.flagged = cur.flagged || p.flagged
+		cur.cids |= p.cids
+		cur.locs.union(a.rv, p.locs)
+		obs.pend[spc] = cur
+	}
+}
+
+// covered reports whether the fence orders pending record p under the
+// machine's scope semantics. A class fence outside any bracket (or with
+// an empty FSS) degrades to a full fence in hardware, so it covers
+// everything.
+func (a *analysis) covered(obs *fenceObs, p pendRec) bool {
+	switch obs.scope {
+	case isa.ScopeGlobal:
+		return true
+	case isa.ScopeClass:
+		switch obs.cid {
+		case -2:
+			return true // degenerate: acts as a full fence
+		case -1:
+			return false // unknown bracket: assume nothing covered
+		default:
+			return p.cids&a.cidBit(obs.cid) != 0
+		}
+	case isa.ScopeSet:
+		return p.flagged
+	}
+	return false
+}
+
+// relevant reports whether the fence's order kind constrains this
+// pending record at all (an SS fence only orders prior stores, an LL
+// fence only prior loads).
+func relevant(order isa.FenceOrder, p pendRec) bool {
+	switch order {
+	case isa.OrderSS:
+		return p.stores
+	case isa.OrderLL:
+		return p.loads
+	}
+	return p.loads || p.stores
+}
+
+// killPending removes the pending records the fence provably orders.
+// Order kinds kill only their own direction: an SS fence completes prior
+// covered stores, an LL fence prior covered loads.
+func (a *analysis) killPending(ins *isa.Instruction, s *absState) {
+	obs := fenceObs{scope: ins.Scope, order: ins.Order, cid: -2}
+	if len(s.brackets) > 0 {
+		obs.cid = s.brackets[len(s.brackets)-1]
+	}
+	for pc, p := range s.pend {
+		if !a.covered(&obs, p) {
+			continue
+		}
+		switch ins.Order {
+		case isa.OrderSS:
+			p.stores = false
+			p.cas = false
+		case isa.OrderLL:
+			p.loads = false
+		default:
+			p.loads, p.stores, p.cas = false, false, false
+		}
+		if !p.loads && !p.stores {
+			delete(s.pend, pc)
+		} else {
+			s.pend[pc] = p
+		}
+	}
+}
+
+// sortedFences returns the fence observations in deterministic order.
+func (a *analysis) sortedFences() []*fenceObs {
+	out := make([]*fenceObs, 0, len(a.fences))
+	for _, obs := range a.fences {
+		out = append(out, obs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].thread != out[j].thread {
+			return out[i].thread < out[j].thread
+		}
+		return out[i].pc < out[j].pc
+	})
+	return out
+}
+
+// sortedPend returns a fence observation's pending site pcs in order.
+func sortedPend(pend map[int]pendRec) []int {
+	pcs := make([]int, 0, len(pend))
+	for pc := range pend {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}

@@ -1,0 +1,83 @@
+package scopecheck
+
+import (
+	"sort"
+
+	"sfence/internal/isa"
+)
+
+// InferInfo summarizes an inference: which access sites were flagged and
+// how many fences were rewritten.
+type InferInfo struct {
+	// Fences is the number of fence instructions rewritten to set scope.
+	Fences int
+	// Flagged lists the pcs of memory accesses that received a SetFlag.
+	Flagged []int
+	// Cleared lists the pcs of memory accesses whose pre-existing
+	// SetFlag was removed (their locations never escape, or they are
+	// never pending at a fence).
+	Cleared []int
+}
+
+// Infer rewrites the scenario's program with minimal safe scopes derived
+// from the analysis: every fence becomes set-scoped (keeping its order
+// kind), and exactly the accesses that may be thread-escaping AND may be
+// pending at some fence in an order-relevant direction carry a SetFlag.
+// fs_start/fs_end brackets are preserved (set fences ignore them).
+//
+// Soundness relative to the input program with all fences read as
+// global (the traditional lowering): a global fence orders every pending
+// access; the inferred set fence orders every *flagged* pending access.
+// The difference is accesses that are never flagged — those either never
+// touch an escaping location (no other thread can observe their order)
+// or are never pending at any fence (program order to the fence already
+// orders nothing). Either way no cross-thread observation distinguishes
+// the two programs on the checked projection; ref.CheckConcurrent
+// asserts exactly this agreement dynamically for every fuzzed scenario.
+func Infer(sc *Scenario) (*isa.Program, *InferInfo, error) {
+	a, err := analyze(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	need := map[int]bool{}
+	for _, obs := range a.fences {
+		for spc, p := range obs.pend {
+			if !relevant(obs.order, p) {
+				continue
+			}
+			if p.locs.intersects(a.rv, a.escaping) {
+				need[spc] = true
+			}
+		}
+	}
+
+	out := &isa.Program{
+		Code:    append([]isa.Instruction(nil), sc.Prog.Code...),
+		Entries: make(map[string]int, len(sc.Prog.Entries)),
+	}
+	for name, pc := range sc.Prog.Entries {
+		out.Entries[name] = pc
+	}
+	info := &InferInfo{}
+	for pc := range out.Code {
+		ins := &out.Code[pc]
+		switch {
+		case ins.Op == isa.OpFence:
+			ins.Scope = isa.ScopeSet
+			info.Fences++
+		case ins.IsMem():
+			want := need[pc]
+			if want && !ins.SetFlag {
+				info.Flagged = append(info.Flagged, pc)
+			}
+			if !want && ins.SetFlag {
+				info.Cleared = append(info.Cleared, pc)
+			}
+			ins.SetFlag = want
+		}
+	}
+	sort.Ints(info.Flagged)
+	sort.Ints(info.Cleared)
+	return out, info, nil
+}

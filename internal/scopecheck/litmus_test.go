@@ -1,0 +1,50 @@
+package scopecheck_test
+
+import (
+	"testing"
+
+	"sfence/internal/litmus"
+	"sfence/internal/scopecheck"
+)
+
+// TestLitmusFamiliesVerify is one third of the static gate: every litmus
+// family's scope annotations verify clean — except ScopedSBLeaky, which
+// is mis-scoped by design and MUST be flagged (it is the ground-truth
+// positive: its relaxed outcome is dynamically observable).
+func TestLitmusFamiliesVerify(t *testing.T) {
+	for _, lt := range litmus.All() {
+		sc := lt.Scenario()
+		rep, err := scopecheck.Verify(&sc)
+		if err != nil {
+			t.Fatalf("%s: %v", lt.Name, err)
+		}
+		if litmus.MisScoped(lt.Name) {
+			if !rep.HasErrors() {
+				t.Errorf("%s: mis-scoped by design but verification found no error:\n%s", lt.Name, rep)
+			}
+			continue
+		}
+		if rep.HasErrors() {
+			t.Errorf("%s: expected clean verification, got:\n%s", lt.Name, rep)
+		}
+	}
+}
+
+// TestScopedSBLeakyFindingShape pins the exact finding: the out-of-
+// bracket store of each thread leaks into the class fence's domain.
+func TestScopedSBLeakyFindingShape(t *testing.T) {
+	sc := litmus.ScopedSBLeaky().Scenario()
+	rep, err := scopecheck.Verify(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := rep.Errors()
+	if len(errs) != 2 { // one per thread
+		t.Fatalf("want 2 under-scope errors (one per thread), got %d:\n%s", len(errs), rep)
+	}
+	for _, f := range errs {
+		if f.Kind != "under-scope" {
+			t.Errorf("finding kind = %q, want under-scope: %s", f.Kind, f)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package scopecheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Location sets are the analysis's footprint representation: a bounded
+// set of concrete word addresses plus a bitmask of whole regions. Bit
+// maskUnmapped of the mask stands for "some shared word outside every
+// declared region" — the attribution of an address the analysis could
+// not resolve and that no region claims.
+//
+// A concrete word and a region atom intersect when the word lies inside
+// the region; two masks intersect when they share a bit. This keeps
+// escape analysis word-granular where addresses resolve (so per-thread
+// words of a falsely-shared line do not escape) and region-granular
+// where they do not (pointer-chased structures).
+
+const (
+	// maxRegions bounds the declared regions so each fits one mask bit.
+	maxRegions = 63
+	// maskUnmapped is the mask bit for unresolved addresses outside every
+	// declared region.
+	maskUnmapped = uint64(1) << 63
+	// maxWords bounds the concrete words tracked per set; beyond it the
+	// set coarsens to region atoms.
+	maxWords = 96
+)
+
+// locSet is a may-set of memory locations. approx records that some
+// atoms came from an unresolvable address (a pointer-chased load
+// attributed to every shared region): such sets are sound for escape
+// and coverage but too coarse to anchor an under-scope Error or to
+// extend a synchronization domain — the verifier degrades them to
+// Warnings (see Verify).
+type locSet struct {
+	words  map[int64]struct{}
+	mask   uint64
+	approx bool
+}
+
+func (l locSet) empty() bool { return len(l.words) == 0 && l.mask == 0 }
+
+// clone returns an independent copy.
+func (l locSet) clone() locSet {
+	c := locSet{mask: l.mask, approx: l.approx}
+	if len(l.words) > 0 {
+		c.words = make(map[int64]struct{}, len(l.words))
+		for w := range l.words {
+			c.words[w] = struct{}{}
+		}
+	}
+	return c
+}
+
+// resolver maps concrete addresses to region indices.
+type resolver struct {
+	regions []Region
+}
+
+// regionOf returns the index of the region containing addr, or -1.
+func (rv *resolver) regionOf(addr int64) int {
+	for i := range rv.regions {
+		if rv.regions[i].Contains(addr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedMask is the attribution mask for fully unresolved addresses:
+// every SharedRW region plus the unmapped bit.
+func (rv *resolver) sharedMask() uint64 {
+	m := maskUnmapped
+	for i := range rv.regions {
+		if rv.regions[i].Sharing == SharedRW {
+			m |= uint64(1) << uint(i)
+		}
+	}
+	return m
+}
+
+// addWord adds one concrete word address, coarsening to the containing
+// region (or the unmapped bit) once the word budget is exhausted.
+func (l *locSet) addWord(rv *resolver, addr int64) {
+	if l.words == nil {
+		l.words = make(map[int64]struct{})
+	}
+	if len(l.words) >= maxWords {
+		if r := rv.regionOf(addr); r >= 0 {
+			l.mask |= uint64(1) << uint(r)
+		} else {
+			l.mask |= maskUnmapped
+		}
+		return
+	}
+	l.words[addr] = struct{}{}
+}
+
+// union merges o into l.
+func (l *locSet) union(rv *resolver, o locSet) {
+	l.mask |= o.mask
+	l.approx = l.approx || o.approx
+	for w := range o.words {
+		l.addWord(rv, w)
+	}
+}
+
+// intersects reports whether the two may-sets can share a location.
+func (l locSet) intersects(rv *resolver, o locSet) bool {
+	small, big := l, o
+	if len(big.words) < len(small.words) {
+		small, big = big, small
+	}
+	for w := range small.words {
+		if _, ok := big.words[w]; ok {
+			return true
+		}
+	}
+	if l.mask&o.mask != 0 {
+		return true
+	}
+	wordHitsMask := func(words map[int64]struct{}, mask uint64) bool {
+		if mask == 0 {
+			return false
+		}
+		for w := range words {
+			r := rv.regionOf(w)
+			if r >= 0 {
+				if mask&(uint64(1)<<uint(r)) != 0 {
+					return true
+				}
+			} else if mask&maskUnmapped != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return wordHitsMask(l.words, o.mask) || wordHitsMask(o.words, l.mask)
+}
+
+// intersect returns the atoms of l that may alias o (words of l that hit
+// o, regions of l that o touches). Used to over-approximate "the part of
+// this footprint that escapes".
+func (l locSet) intersect(rv *resolver, o locSet) locSet {
+	out := locSet{approx: l.approx}
+	for w := range l.words {
+		hit := false
+		if _, ok := o.words[w]; ok {
+			hit = true
+		} else if r := rv.regionOf(w); r >= 0 {
+			hit = o.mask&(uint64(1)<<uint(r)) != 0
+		} else {
+			hit = o.mask&maskUnmapped != 0
+		}
+		if hit {
+			out.addWord(rv, w)
+		}
+	}
+	out.mask = l.mask & o.mask
+	// A region atom of l also intersects o when o holds a concrete word
+	// inside it.
+	if l.mask != 0 {
+		for w := range o.words {
+			if r := rv.regionOf(w); r >= 0 && l.mask&(uint64(1)<<uint(r)) != 0 {
+				out.mask |= uint64(1) << uint(r)
+			} else if r < 0 && l.mask&maskUnmapped != 0 {
+				out.mask |= maskUnmapped
+			}
+		}
+	}
+	return out
+}
+
+// describe renders the set compactly and deterministically.
+func (l locSet) describe(rv *resolver) string {
+	if l.empty() {
+		return "∅"
+	}
+	var parts []string
+	words := make([]int64, 0, len(l.words))
+	for w := range l.words {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	shown := words
+	if len(shown) > 8 {
+		shown = shown[:8]
+	}
+	for _, w := range shown {
+		parts = append(parts, fmt.Sprintf("0x%x", w))
+	}
+	if len(words) > 8 {
+		parts = append(parts, fmt.Sprintf("+%d words", len(words)-8))
+	}
+	for i := 0; i < maxRegions && i < len(rv.regions); i++ {
+		if l.mask&(uint64(1)<<uint(i)) != 0 {
+			parts = append(parts, rv.regions[i].Name)
+		}
+	}
+	if l.mask&maskUnmapped != 0 {
+		parts = append(parts, "unmapped")
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

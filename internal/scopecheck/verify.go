@@ -1,0 +1,172 @@
+package scopecheck
+
+import (
+	"fmt"
+
+	"sfence/internal/isa"
+)
+
+// Verify analyzes the scenario and checks every fence annotation.
+//
+// The soundness criterion is the synchronization-domain rule. Define
+// domain(C) as every location accessed under an fs_start(C) bracket by
+// any thread, and setDomain as every location accessed by a flagged
+// instruction. At a class-scoped fence whose innermost bracket is C, a
+// pending thread-escaping access that touches domain(C) but was not
+// issued under a C bracket has leaked out of the synchronized region the
+// scope promises to order — an Error (the fence will not wait for it,
+// yet the region's protocol involves its location). The same holds for
+// an unflagged escaping access touching setDomain at a set fence.
+// Escaping pending accesses outside the fence's domain are reported as
+// Notes: orderings a traditional fence would impose but that no
+// synchronization discipline of this program demands (e.g. a relaxed
+// CAS counter); whether they matter is exactly what the dynamic oracle
+// cross-check in ref.CheckConcurrent decides, which is why the fuzz loop
+// asserts static-clean ∧ dynamic-clean together.
+//
+// Atomic RMWs (CAS) are single-location-atomic at completion, so an
+// uncovered escaping CAS is a Warning, not an Error: lock and counter
+// idioms legally leave relaxed CASes unordered.
+//
+// Global fences additionally get over-scope Notes when their escaping
+// pending set provably fits a narrower scope — the optimization report
+// the paper's compiler would act on.
+func Verify(sc *Scenario) (*Report, error) {
+	a, err := analyze(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Scenario: sc.Name,
+		Escaping: a.escaping.describe(a.rv),
+		Fences:   len(a.fences),
+	}
+
+	for _, obs := range a.sortedFences() {
+		a.verifyFence(obs, rep)
+	}
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+// domainFor returns the fence's synchronization domain: the locations
+// its scope claims responsibility for.
+func (a *analysis) domainFor(obs *fenceObs) locSet {
+	switch obs.scope {
+	case isa.ScopeClass:
+		if obs.cid < 0 {
+			return locSet{}
+		}
+		idx, ok := a.cidIdx[obs.cid]
+		if !ok {
+			return locSet{}
+		}
+		if d := a.cidDomain[idx]; d != nil {
+			return *d
+		}
+		return locSet{}
+	case isa.ScopeSet:
+		return a.setDomain
+	}
+	return locSet{}
+}
+
+func (a *analysis) verifyFence(obs *fenceObs, rep *Report) {
+	rv := a.rv
+	domain := a.domainFor(obs)
+
+	if obs.scope == isa.ScopeClass && obs.cid == -1 {
+		rep.Findings = append(rep.Findings, Finding{
+			Severity: SevWarning, Thread: obs.thread, PC: obs.pc, Kind: "under-scope",
+			Msg: "class fence with unresolvable bracket context (join of different cids); coverage not verified",
+		})
+		return
+	}
+
+	// Over-scope candidates for global fences.
+	escPendings := 0
+	allFlagged, allInBracket := true, true
+	bracketBit := uint64(0)
+	if obs.cid >= 0 {
+		bracketBit = a.cidBit(obs.cid)
+	}
+
+	for _, spc := range sortedPend(obs.pend) {
+		p := obs.pend[spc]
+		if !relevant(obs.order, p) {
+			continue
+		}
+		esc := p.locs.intersect(rv, a.escaping)
+		if esc.empty() {
+			continue
+		}
+		escPendings++
+		if !p.flagged {
+			allFlagged = false
+		}
+		if bracketBit == 0 || p.cids&bracketBit == 0 {
+			allInBracket = false
+		}
+		if a.covered(obs, p) {
+			continue
+		}
+		// Uncovered escaping pending access at a scoped fence.
+		inDomain := esc.intersects(rv, domain)
+		switch {
+		case inDomain && p.cas:
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevWarning, Thread: obs.thread, PC: obs.pc, Kind: "unordered-atomic",
+				Msg: fmt.Sprintf("escaping atomic RMW at pc %d (%s) is in this %s fence's domain but not covered by it",
+					spc, esc.describe(rv), obs.scope),
+			})
+		case inDomain && esc.approx:
+			// The access's address did not resolve (pointer-chased); its
+			// broad attribution may alias the domain spuriously, so this
+			// cannot anchor an Error.
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevWarning, Thread: obs.thread, PC: obs.pc, Kind: "under-scope",
+				Msg: fmt.Sprintf("escaping access at pc %d has an unresolved address that may alias this %s fence's domain; coverage not proven",
+					spc, scopeDesc(obs)),
+			})
+		case inDomain:
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevError, Thread: obs.thread, PC: obs.pc, Kind: "under-scope",
+				Msg: fmt.Sprintf("escaping access at pc %d touches %s inside this %s fence's synchronization domain but is outside its scope (fence will not order it)",
+					spc, esc.describe(rv), scopeDesc(obs)),
+			})
+		default:
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevNote, Thread: obs.thread, PC: obs.pc, Kind: "unscoped-escape",
+				Msg: fmt.Sprintf("escaping access at pc %d (%s) is pending but outside this %s fence's domain; no discipline of this program orders it here",
+					spc, esc.describe(rv), obs.scope),
+			})
+		}
+	}
+
+	if obs.scope == isa.ScopeGlobal && obs.order == isa.OrderFull {
+		switch {
+		case escPendings == 0:
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevNote, Thread: obs.thread, PC: obs.pc, Kind: "over-scope",
+				Msg: "global fence orders no escaping pending access; a set-scoped fence with no flags would do",
+			})
+		case allFlagged:
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevNote, Thread: obs.thread, PC: obs.pc, Kind: "over-scope",
+				Msg: "every escaping pending access is flagged; this fence could be set-scoped",
+			})
+		case allInBracket:
+			rep.Findings = append(rep.Findings, Finding{
+				Severity: SevNote, Thread: obs.thread, PC: obs.pc, Kind: "over-scope",
+				Msg: fmt.Sprintf("every escaping pending access was issued under the active bracket (cid %d); this fence could be class-scoped", obs.cid),
+			})
+		}
+	}
+}
+
+func scopeDesc(obs *fenceObs) string {
+	if obs.scope == isa.ScopeClass {
+		return fmt.Sprintf("class(cid %d)", obs.cid)
+	}
+	return obs.scope.String()
+}

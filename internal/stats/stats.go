@@ -237,6 +237,61 @@ func (s Snapshot) Float(name string) float64 {
 	return smp.Float
 }
 
+// Delta is one stat's change between a baseline snapshot and a fresh
+// one. Exactly one of the three cases holds: the stat is new (no Old),
+// removed (no New), or changed (both present, values differ).
+type Delta struct {
+	Name string
+	// Change is "added", "removed", or "changed".
+	Change   string
+	Old, New Sample
+}
+
+func (d Delta) String() string {
+	val := func(s Sample) string {
+		if s.Kind == KindFormula {
+			return fmt.Sprintf("%g", s.Float)
+		}
+		return fmt.Sprintf("%d", s.Value)
+	}
+	switch d.Change {
+	case "added":
+		return fmt.Sprintf("%s added (%s)", d.Name, val(d.New))
+	case "removed":
+		return fmt.Sprintf("%s removed (was %s)", d.Name, val(d.Old))
+	default:
+		return fmt.Sprintf("%s %s -> %s", d.Name, val(d.Old), val(d.New))
+	}
+}
+
+// Diff compares s against the baseline and returns every stat that was
+// added, removed, or changed, in name order. An empty result is
+// equivalent to base.Equal(s) up to schema: Diff looks only at the
+// samples. It is the engine behind "what changed vs. the committed
+// baseline" reporting — both for registry snapshots and for artifact
+// envelopes flattened into synthetic snapshots.
+func (s Snapshot) Diff(base Snapshot) []Delta {
+	var out []Delta
+	i, j := 0, 0
+	for i < len(base.Samples) || j < len(s.Samples) {
+		switch {
+		case j >= len(s.Samples) || (i < len(base.Samples) && base.Samples[i].Name < s.Samples[j].Name):
+			out = append(out, Delta{Name: base.Samples[i].Name, Change: "removed", Old: base.Samples[i]})
+			i++
+		case i >= len(base.Samples) || s.Samples[j].Name < base.Samples[i].Name:
+			out = append(out, Delta{Name: s.Samples[j].Name, Change: "added", New: s.Samples[j]})
+			j++
+		default:
+			if base.Samples[i] != s.Samples[j] {
+				out = append(out, Delta{Name: s.Samples[j].Name, Change: "changed", Old: base.Samples[i], New: s.Samples[j]})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 // Equal reports whether two snapshots carry identical samples. Used by
 // the differential clock tests: fast-forward must be bit-exact for every
 // registered stat, not just the headline counters.

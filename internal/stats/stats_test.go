@@ -128,3 +128,46 @@ func TestInvalidNamePanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestSnapshotDiff(t *testing.T) {
+	base := Snapshot{Schema: SnapshotSchema, Samples: []Sample{
+		{Name: "a.count", Kind: KindCounter, Value: 5},
+		{Name: "b.ratio", Kind: KindFormula, Float: 0.5},
+		{Name: "c.gone", Kind: KindCounter, Value: 1},
+	}}
+	fresh := Snapshot{Schema: SnapshotSchema, Samples: []Sample{
+		{Name: "a.count", Kind: KindCounter, Value: 7},
+		{Name: "b.ratio", Kind: KindFormula, Float: 0.5},
+		{Name: "d.new", Kind: KindGauge, Value: -2},
+	}}
+	ds := fresh.Diff(base)
+	if len(ds) != 3 {
+		t.Fatalf("got %d deltas %v, want 3", len(ds), ds)
+	}
+	if ds[0].Change != "changed" || ds[0].Name != "a.count" || ds[0].Old.Value != 5 || ds[0].New.Value != 7 {
+		t.Errorf("delta 0 = %+v, want a.count 5 -> 7", ds[0])
+	}
+	if ds[1].Change != "removed" || ds[1].Name != "c.gone" {
+		t.Errorf("delta 1 = %+v, want c.gone removed", ds[1])
+	}
+	if ds[2].Change != "added" || ds[2].Name != "d.new" {
+		t.Errorf("delta 2 = %+v, want d.new added", ds[2])
+	}
+	if s := ds[0].String(); s != "a.count 5 -> 7" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSnapshotDiffEmptyOnEqual(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	r.Root().Counter(&c, "x", "test counter")
+	c.Add(3)
+	a, b := r.Snapshot(), r.Snapshot()
+	if ds := a.Diff(b); len(ds) != 0 {
+		t.Errorf("identical snapshots diff to %v", ds)
+	}
+	if !a.Equal(b) {
+		t.Error("identical snapshots not Equal")
+	}
+}

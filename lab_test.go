@@ -242,7 +242,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		byID[s.ID] = s
 	}
 	want := []string{
-		"fig12", "fig13", "fig14", "fig15", "fig16", "fig-depth",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig-depth", "fig-inferred",
 		"ablation/fsb-entries", "ablation/fss-depth", "ablation/store-buffer",
 		"ablation/fifo-store-buffer", "ablation/finer-fences",
 		"ablation/nested-scopes", "ablation/fss-recovery",

@@ -1,0 +1,183 @@
+package sfence
+
+import (
+	"fmt"
+
+	"sfence/internal/kernels"
+	"sfence/internal/litmus"
+	"sfence/internal/ref"
+	"sfence/internal/scopecheck"
+)
+
+// Static fence-scope analysis (see DESIGN.md, "Static scope analysis"):
+// a per-thread abstract interpreter computes every fence's pending-access
+// footprint and every location's thread-escape status, from which the
+// verifier checks hand-written class/set annotations and the inference
+// pass derives annotations for unannotated programs.
+type (
+	// ScopeScenario is a multi-thread program plus its memory-map
+	// declarations, the unit of static scope analysis.
+	ScopeScenario = scopecheck.Scenario
+	// ScopeRegion declares one named memory region's sharing discipline.
+	ScopeRegion = scopecheck.Region
+	// ScopeThread is one thread of a scenario (entry plus initial
+	// registers).
+	ScopeThread = scopecheck.Thread
+	// ScopeReport is the verifier's findings for one scenario.
+	ScopeReport = scopecheck.Report
+	// ScopeFinding is one diagnostic of a ScopeReport.
+	ScopeFinding = scopecheck.Finding
+	// ScopeSeverity ranks findings: Note, Warning, Error.
+	ScopeSeverity = scopecheck.Severity
+	// ScopeSharing classifies a region: SharedRW, ReadShared, or Private.
+	ScopeSharing = scopecheck.Sharing
+	// ScopeInferInfo summarizes one inference pass (fences rewritten,
+	// accesses flagged).
+	ScopeInferInfo = scopecheck.InferInfo
+)
+
+// Scope-finding severities.
+const (
+	ScopeNote    = scopecheck.SevNote
+	ScopeWarning = scopecheck.SevWarning
+	ScopeError   = scopecheck.SevError
+)
+
+// Region sharing disciplines for ScopeScenario declarations.
+const (
+	SharedRW   = scopecheck.SharedRW
+	ReadShared = scopecheck.ReadShared
+	Private    = scopecheck.Private
+)
+
+// VerifyScopes statically verifies a scenario's fence-scope annotations:
+// Errors are provable scope leaks (an escaping access the fence's scope
+// should cover but does not), Notes flag global fences provably
+// narrowable and escapes outside any synchronization domain.
+func VerifyScopes(sc *ScopeScenario) (*ScopeReport, error) {
+	return scopecheck.Verify(sc)
+}
+
+// InferScopes rewrites a scenario's program with statically inferred
+// minimal scopes: every fence becomes set-scoped and exactly the
+// escaping, order-relevant accesses are flagged. The input program is
+// not modified.
+func InferScopes(sc *ScopeScenario) (*Program, *ScopeInferInfo, error) {
+	return scopecheck.Infer(sc)
+}
+
+// BenchmarkScenario builds a named Table IV benchmark and adapts it for
+// static scope analysis.
+func BenchmarkScenario(name string, opts BenchmarkOptions) (ScopeScenario, error) {
+	k, err := kernels.Build(name, opts)
+	if err != nil {
+		return ScopeScenario{}, err
+	}
+	return k.Scenario(), nil
+}
+
+// ScopeGateEntry is one verified target of the static scope gate.
+type ScopeGateEntry struct {
+	// Target names the verified program ("kernel harris/scoped",
+	// "litmus mp+fences", "corpus seed 149", ...).
+	Target string
+	// Errors, Warnings, and Notes count the report's findings (zero for
+	// inference-only entries).
+	Errors, Warnings, Notes int
+	// OK reports whether the entry met its expectation — no errors, or,
+	// for the deliberately mis-scoped litmus control, at least one.
+	OK bool
+	// Detail carries the rendered findings (or error) when !OK.
+	Detail string
+}
+
+func gateEntry(target string, rep *ScopeReport, err error, wantErrors bool) ScopeGateEntry {
+	e := ScopeGateEntry{Target: target}
+	if err != nil {
+		e.Detail = err.Error()
+		return e
+	}
+	for _, f := range rep.Findings {
+		switch f.Severity {
+		case ScopeError:
+			e.Errors++
+		case ScopeWarning:
+			e.Warnings++
+		default:
+			e.Notes++
+		}
+	}
+	e.OK = (e.Errors > 0) == wantErrors
+	if !e.OK {
+		e.Detail = rep.String()
+		if wantErrors {
+			e.Detail = "expected scope errors on the mis-scoped control, found none"
+		}
+	}
+	return e
+}
+
+// ScopeGate statically verifies every program the repository ships: all
+// Table IV kernels (traditional and scoped builds, plus the inferred
+// rewrite), every litmus family (the deliberately mis-scoped control
+// must be flagged; everything else must be clean), every under-scoped
+// mutant (which must be flagged), and the given generated-scenario
+// corpus seeds. It returns one entry per target and whether the whole
+// gate passed.
+func ScopeGate(corpusSeeds []int64) ([]ScopeGateEntry, bool) {
+	var entries []ScopeGateEntry
+	for _, info := range kernels.All() {
+		for _, mode := range []FenceMode{Traditional, Scoped} {
+			target := fmt.Sprintf("kernel %s/%s", info.Name, mode)
+			k, err := kernels.Build(info.Name, BenchmarkOptions{Mode: mode})
+			if err != nil {
+				entries = append(entries, ScopeGateEntry{Target: target, Detail: err.Error()})
+				continue
+			}
+			sc := k.Scenario()
+			rep, err := scopecheck.Verify(&sc)
+			entries = append(entries, gateEntry(target, rep, err, false))
+		}
+		entries = append(entries, kernelInferEntry(info.Name))
+	}
+	for _, t := range litmus.All() {
+		sc := t.Scenario()
+		rep, err := scopecheck.Verify(&sc)
+		entries = append(entries, gateEntry("litmus "+t.Name, rep, err, litmus.MisScoped(t.Name)))
+	}
+	for _, t := range append(litmus.UnderScopedMutants(), litmus.StaticOnlyMutants()...) {
+		sc := t.Scenario()
+		rep, err := scopecheck.Verify(&sc)
+		entries = append(entries, gateEntry("mutant "+t.Name, rep, err, true))
+	}
+	for _, seed := range corpusSeeds {
+		target := fmt.Sprintf("corpus seed %d", seed)
+		e := ScopeGateEntry{Target: target, OK: true}
+		if _, err := ref.VerifyScopes(seed); err != nil {
+			e.OK, e.Detail = false, err.Error()
+		}
+		entries = append(entries, e)
+	}
+	ok := true
+	for _, e := range entries {
+		ok = ok && e.OK
+	}
+	return entries, ok
+}
+
+// kernelInferEntry runs inference on a kernel's unannotated build and
+// verifies the inferred program clean.
+func kernelInferEntry(name string) ScopeGateEntry {
+	target := "kernel " + name + "/inferred"
+	sc, err := BenchmarkScenario(name, BenchmarkOptions{Mode: Traditional})
+	if err != nil {
+		return ScopeGateEntry{Target: target, Detail: err.Error()}
+	}
+	prog, _, err := scopecheck.Infer(&sc)
+	if err != nil {
+		return ScopeGateEntry{Target: target, Detail: err.Error()}
+	}
+	inf := ScopeScenario{Name: sc.Name, Prog: prog, Threads: sc.Threads, Regions: sc.Regions}
+	rep, err := scopecheck.Verify(&inf)
+	return gateEntry(target, rep, err, false)
+}

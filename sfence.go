@@ -132,10 +132,13 @@ const (
 	OrderLL   = isa.OrderLL
 )
 
-// Fence modes for benchmark builds.
+// Fence modes for benchmark builds. Inferred builds the unannotated
+// (traditional) program and rewrites it with statically inferred scopes
+// (see InferScopes).
 const (
 	Traditional = kernels.Traditional
 	Scoped      = kernels.Scoped
+	Inferred    = kernels.Inferred
 )
 
 // Scope overrides for Figure 14.
@@ -329,6 +332,10 @@ type (
 	AblationSpecEntry = results.AblationSpec
 	// ResultArtifact is one named BENCH_*.json file.
 	ResultArtifact = results.Artifact
+	// BaselineChange is one artifact's drift against the committed
+	// baseline (see Suite.DiffBaseline), with leaf-level value deltas
+	// computed by the stats snapshot differ.
+	BaselineChange = results.BaselineChange
 	// ResultClaim is one machine-checkable paper claim.
 	ResultClaim = results.Claim
 	// SimPerfReport is the simulator-performance artifact payload:
