@@ -39,6 +39,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "report per-experiment progress on stderr")
 		cacheDir   = flag.String("cache", "", "memoize simulations in this run-cache directory")
 		parallel   = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "machine worker threads per simulation (0 = GOMAXPROCS left over by -parallel; 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -117,9 +118,24 @@ func main() {
 	if *quick {
 		sc = sfence.Quick
 	}
+	// The two parallelism axes compose: -parallel spreads independent
+	// simulations across a pool, -workers parallelizes inside each
+	// machine. The default gives each axis its fair share of GOMAXPROCS
+	// so their product never oversubscribes the host.
+	w := *workers
+	if w == 0 {
+		pool := *parallel
+		if pool <= 0 {
+			pool = runtime.GOMAXPROCS(0)
+		}
+		if w = runtime.GOMAXPROCS(0) / pool; w < 1 {
+			w = 1
+		}
+	}
 	labOpts := []sfence.LabOption{
 		sfence.WithScale(sc),
 		sfence.WithParallelism(*parallel),
+		sfence.WithWorkers(w),
 	}
 	if *cacheDir != "" {
 		cache, err := sfence.NewRunCache(*cacheDir)

@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"sfence"
@@ -39,6 +40,7 @@ func main() {
 		mode      = flag.String("mode", "scoped", "fence mode: traditional | scoped | inferred")
 		scope     = flag.String("scope", "", "override scope for scoped mode: class | set")
 		threads   = flag.Int("threads", 0, "thread count (0 = benchmark default)")
+		cores     = flag.Int("cores", 0, "machine core count (0 = Table III default, grown to fit -threads)")
 		ops       = flag.Int("ops", 0, "operation count (0 = benchmark default)")
 		workload  = flag.Int("workload", 0, "workload units between operations")
 		seed      = flag.Int64("seed", 1, "deterministic input seed")
@@ -53,6 +55,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the full hierarchical stats snapshot (every registered counter)")
 		statsJSON = flag.Bool("stats-json", false, "emit the stats snapshot as JSON on stdout (implies quiet summary)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = no limit)")
+		workers   = flag.Int("workers", 0, "machine worker threads for the epoch-barriered parallel runner (0 = GOMAXPROCS; 1 = sequential; results are bit-identical either way)")
 		genSeed   = flag.Int64("gen", 0, "replay the generated fuzz scenario with this seed through the full differential check (ignores -bench)")
 		genDump   = flag.String("gen-dump", "", "with -gen: print the named fence variant's disassembly (traditional | class | set) instead of checking")
 		scopeGate = flag.Bool("scopecheck", false, "statically verify fence scopes: all kernels, all litmus families, and the committed fuzz corpus (ignores -bench)")
@@ -111,6 +114,11 @@ func main() {
 	}
 
 	cfg := sfence.DefaultConfig()
+	if *cores > 0 {
+		cfg.Cores = *cores
+	} else if *threads > cfg.Cores {
+		cfg.Cores = *threads
+	}
 	cfg.Core.InWindowSpec = *spec
 	cfg.Core.FIFOStoreBuffer = *fifo
 	if *depth > 0 {
@@ -126,6 +134,10 @@ func main() {
 	if *robsize > 0 {
 		cfg.Core.ROBSize = *robsize
 	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Parallel.Workers = *workers
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

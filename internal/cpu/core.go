@@ -173,6 +173,14 @@ type Core struct {
 
 	spin spinState
 
+	// Parallel-epoch gate (see epoch.go): while localOnly is set every
+	// hierarchy access must be a private-L1 hit; the first that is not
+	// latches epochBlocked instead of executing, and undoLog records the
+	// Image words overwritten in-epoch so an abort can restore them.
+	localOnly    bool
+	epochBlocked bool
+	undoLog      []imgUndo
+
 	fenceStallSeen bool // one fence-stall count per cycle
 	robFullSeen    bool
 	sbFullSeen     bool
@@ -393,11 +401,17 @@ func (c *Core) completeSB() {
 				// from the drained entry had already started).
 				c.schedDirty = true
 			}
+			if c.localOnly {
+				// In-epoch drain: no other core holds the line (the issue
+				// required M/E, or the hazard scan kept shared lines out),
+				// so the word is race-free; log it for a possible abort.
+				c.undoLog = append(c.undoLog, imgUndo{e.addr, c.img.Load(e.addr)})
+			}
 			c.img.Store(e.addr, e.val)
 			c.decBits(c.scope.sbCnt, e.fsb)
 			c.sbInflight--
 			c.trace(TraceSBComplete, 0, isa.Instruction{Op: isa.OpStore}, e.addr)
-			if c.OnStoreComplete != nil {
+			if c.OnStoreComplete != nil && !c.localOnly {
 				c.OnStoreComplete(c.id, e.addr)
 			}
 			continue // drop entry
@@ -442,7 +456,10 @@ func (c *Core) issueSB() {
 		if older {
 			continue
 		}
-		lat := c.hier.Access(c.id, e.addr, true)
+		lat, ok := c.access(e.addr, true)
+		if !ok {
+			break // epoch-gated: the issue waits for the sequential re-run
+		}
 		e.inflight = true
 		e.readyAt = c.cycle + int64(lat)
 		c.sbInflight++
@@ -512,10 +529,13 @@ func (c *Core) completeROB() {
 			c.decBits(c.scope.robLoadCnt, e.fsb)
 		case isa.OpCAS:
 			// The read-modify-write happens atomically at completion.
+			if c.localOnly {
+				c.undoLog = append(c.undoLog, imgUndo{e.addr, c.img.Load(e.addr)})
+			}
 			if c.img.CompareAndSwap(e.addr, e.casOld, e.sval) {
 				e.val = 1
 				c.spin.events++ // Image mutation perturbs any spin here
-				if c.OnStoreComplete != nil {
+				if c.OnStoreComplete != nil && !c.localOnly {
 					c.OnStoreComplete(c.id, e.addr)
 				}
 			} else {
@@ -974,7 +994,10 @@ func (c *Core) tryStartLoad(e *robEntry, seq uint64) {
 			return
 		}
 	}
-	lat := c.hier.Access(c.id, e.addr, false)
+	lat, ok := c.access(e.addr, false)
+	if !ok {
+		return // epoch-gated: the load retries after the epoch aborts
+	}
 	e.val = c.img.Load(e.addr)
 	e.accessedMem = true
 	c.spinWatch(e.addr)
@@ -1033,7 +1056,10 @@ func (c *Core) tryStartCAS(e *robEntry, seq uint64) {
 	}
 	e.casOld = c.readSrc(e.src2, e.inst.Rs2)
 	e.sval = c.readSrc(e.src3, e.inst.Rs3)
-	lat := c.hier.Access(c.id, e.addr, true)
+	lat, ok := c.access(e.addr, true)
+	if !ok {
+		return // epoch-gated: the CAS retries after the epoch aborts
+	}
 	e.accessedMem = true
 	c.spinWatch(e.addr)
 	e.stage = stExecuting

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sfence/internal/kernels"
+)
+
+// HeatCell is one fence site of one benchmark run in the stall-intensity
+// heatmap: where the fence is (static PC), what it is (rendered
+// mnemonic), and how hard it stalls the pipeline.
+type HeatCell struct {
+	PC          int    `json:"pc"`
+	Scope       string `json:"scope"`
+	Executions  uint64 `json:"executions"`
+	StallCycles uint64 `json:"stallCycles"`
+	IdleCycles  uint64 `json:"idleCycles"`
+	// StallShare is this site's share of the run's total fence stall.
+	StallShare float64 `json:"stallShare"`
+	// AvgStall is stall cycles per committed execution of the site.
+	AvgStall float64 `json:"avgStall"`
+}
+
+// HeatmapRow is one benchmark × fence-mode row: every fence site of the
+// run, hottest first.
+type HeatmapRow struct {
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+	// TotalStall is the run's total fence-stall cycles across all sites.
+	TotalStall uint64     `json:"totalStall"`
+	Sites      []HeatCell `json:"sites"`
+}
+
+// FigureHeatmap is the fence-site stall-intensity heatmap (a ROADMAP
+// item beyond the paper): every Table IV benchmark under traditional and
+// scoped fences on the Table III machine, broken down per static fence
+// site through the FenceProfile plumbing. It shows *which* fences the
+// scoped semantics rescue: under T a few sites carry almost all the
+// stall; under S the same sites either vanish from the profile (scoped
+// fences skip the remote drain) or keep only their local share. The runs
+// reuse the Figure 13/14 baseline configurations, so a cached session
+// pays nothing extra for them.
+func (s *Session) FigureHeatmap(ctx context.Context, sc Scale) ([]HeatmapRow, error) {
+	infos := kernels.All()
+	modes := []struct {
+		label string
+		mode  kernels.FenceMode
+	}{{"T", kernels.Traditional}, {"S", kernels.Scoped}}
+
+	var runs []*figRun
+	var labels [][2]string
+	for _, info := range infos {
+		for _, mc := range modes {
+			runs = append(runs, &figRun{bench: info.Name, opts: kernels.Options{
+				Mode: mc.mode, Ops: opsFor(info.Name, sc),
+			}, cfg: baseConfig()})
+			labels = append(labels, [2]string{info.Name, mc.label})
+		}
+	}
+	if err := s.execute(ctx, "Fence heatmap", runs); err != nil {
+		return nil, err
+	}
+	out := make([]HeatmapRow, len(runs))
+	for i, r := range runs {
+		row := HeatmapRow{Bench: labels[i][0], Mode: labels[i][1]}
+		for _, site := range r.res.Profile {
+			row.TotalStall += site.StallCycles
+		}
+		for _, site := range r.res.Profile {
+			cell := HeatCell{
+				PC:          site.PC,
+				Scope:       site.Scope,
+				Executions:  site.Executions,
+				StallCycles: site.StallCycles,
+				IdleCycles:  site.IdleCycles,
+			}
+			if row.TotalStall > 0 {
+				cell.StallShare = float64(site.StallCycles) / float64(row.TotalStall)
+			}
+			if site.Executions > 0 {
+				cell.AvgStall = float64(site.StallCycles) / float64(site.Executions)
+			}
+			row.Sites = append(row.Sites, cell)
+		}
+		// Hottest sites first; PC breaks ties so the artifact is stable.
+		sort.Slice(row.Sites, func(a, b int) bool {
+			if row.Sites[a].StallCycles != row.Sites[b].StallCycles {
+				return row.Sites[a].StallCycles > row.Sites[b].StallCycles
+			}
+			return row.Sites[a].PC < row.Sites[b].PC
+		})
+		out[i] = row
+	}
+	return out, nil
+}
+
+// heatBar renders a 10-char intensity bar for a share in [0,1].
+func heatBar(share float64) string {
+	n := int(share*10 + 0.5)
+	if n > 10 {
+		n = 10
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", 10-n)
+}
+
+// RenderHeatmap formats the heatmap as a site-per-line table grouped by
+// benchmark, with intensity bars scaled to each run's total fence stall.
+func RenderHeatmap(rows []HeatmapRow) string {
+	var sb strings.Builder
+	sb.WriteString("Fence-site stall-intensity heatmap (per run; bar = share of that run's fence stall)\n")
+	sb.WriteString(fmt.Sprintf("%-11s%-6s%6s%-14s%12s%12s%10s  %s\n",
+		"bench", "mode", "pc", " scope", "execs", "stall", "avg", "intensity"))
+	for _, row := range rows {
+		if len(row.Sites) == 0 {
+			sb.WriteString(fmt.Sprintf("%-11s%-6s%s\n", row.Bench, row.Mode, "  (no fence sites)"))
+			continue
+		}
+		for _, c := range row.Sites {
+			sb.WriteString(fmt.Sprintf("%-11s%-6s%6d %-13s%12d%12d%10.1f  %s\n",
+				row.Bench, row.Mode, c.PC, c.Scope, c.Executions, c.StallCycles, c.AvgStall, heatBar(c.StallShare)))
+		}
+	}
+	return sb.String()
+}

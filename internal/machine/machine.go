@@ -37,6 +37,19 @@ type Config struct {
 	// MaxCycles aborts Run when exceeded (0 means the DefaultMaxCycles
 	// safety net).
 	MaxCycles int64
+	// Parallel configures the optimistic-epoch parallel runner. The
+	// zero value (Workers 0) and Workers 1 select the sequential
+	// two-speed loop; results are bit-identical either way.
+	Parallel ParallelConfig
+}
+
+// ParallelConfig selects how many OS threads step cores inside the
+// optimistic epochs of Run's parallel mode (see runParallel). Workers
+// only changes wall-clock time: snapshots, registers, memory, and every
+// registered statistic outside machine.clock.* are bit-identical for
+// any worker count.
+type ParallelConfig struct {
+	Workers int
 }
 
 // DefaultMaxCycles is the runaway-simulation safety net.
@@ -55,8 +68,11 @@ func DefaultConfig() Config {
 
 // Validate checks the aggregate configuration.
 func (c Config) Validate() error {
-	if c.Cores < 1 || c.Cores > 64 {
-		return fmt.Errorf("machine: %d cores out of range [1,64]", c.Cores)
+	if c.Cores < 1 || c.Cores > memsys.MaxCores {
+		return fmt.Errorf("machine: %d cores out of range [1,%d]", c.Cores, memsys.MaxCores)
+	}
+	if c.Parallel.Workers < 0 {
+		return fmt.Errorf("machine: %d parallel workers (want >= 0)", c.Parallel.Workers)
 	}
 	if c.ImageSize < 1024 {
 		return fmt.Errorf("machine: image size %d too small", c.ImageSize)
@@ -89,21 +105,30 @@ type Machine struct {
 
 // ClockStats reports how the two-speed clock spent a Run: SlowTicks is the
 // number of cycles stepped one by one, SkippedCycles the cycles covered by
-// fast-forward jumps, and Jumps the number of jumps. SlowTicks+SkippedCycles
-// equals the final cycle count. SpinJumps counts the jumps that carried at
-// least one core through a confirmed busy-wait spin (see cpu's spin
-// detector), and SpinSkippedCycles the cycles those jumps covered — both
-// are included in Jumps/SkippedCycles, not additional. TracerPinned
-// records that fast-forwarding was disabled because a per-cycle pipeline
-// tracer was attached — so zero jumps on a traced run reads as "pinned",
-// not "never idle". Counter-only observers (see cpu.Core.SetObserver) do
-// not pin the clock and never set the flag.
+// fast-forward jumps, and Jumps the number of jumps. SpinJumps counts the
+// jumps that carried at least one core through a confirmed busy-wait spin
+// (see cpu's spin detector), and SpinSkippedCycles the cycles those jumps
+// covered — both are included in Jumps/SkippedCycles, not additional.
+// TracerPinned records that fast-forwarding was disabled because a
+// per-cycle pipeline tracer was attached — so zero jumps on a traced run
+// reads as "pinned", not "never idle". Counter-only observers (see
+// cpu.Core.SetObserver) do not pin the clock and never set the flag.
+//
+// The parallel runner adds its own accounting: Epochs counts attempted
+// optimistic epochs, EpochFails the ones that aborted and were re-run
+// sequentially, and EpochCycles the machine cycles committed by
+// successful epochs. SlowTicks+SkippedCycles+EpochCycles equals the
+// final cycle count. All of it lives under machine.clock.* because it
+// describes how the clock ran, not what the simulated hardware did.
 type ClockStats struct {
 	SlowTicks         int64
 	SkippedCycles     int64
 	Jumps             int64
 	SpinJumps         int64
 	SpinSkippedCycles int64
+	Epochs            int64
+	EpochFails        int64
+	EpochCycles       int64
 	TracerPinned      bool
 }
 
@@ -205,6 +230,9 @@ func (m *Machine) registerMachineStats(g *stats.Group) {
 	clock.Derived("jumps", "fast-forward jumps taken", func() uint64 { return uint64(m.clock.Jumps) })
 	clock.Derived("spin_jumps", "jumps that carried at least one core through a confirmed spin", func() uint64 { return uint64(m.clock.SpinJumps) })
 	clock.Derived("spin_skipped_cycles", "cycles covered by spin-carrying jumps", func() uint64 { return uint64(m.clock.SpinSkippedCycles) })
+	clock.Derived("epochs", "optimistic parallel epochs attempted", func() uint64 { return uint64(m.clock.Epochs) })
+	clock.Derived("epoch_fails", "epochs aborted and re-run sequentially", func() uint64 { return uint64(m.clock.EpochFails) })
+	clock.Derived("epoch_cycles", "machine cycles committed by successful epochs", func() uint64 { return uint64(m.clock.EpochCycles) })
 	clock.Derived("tracer_pinned", "1 when a per-cycle tracer disabled fast-forwarding", func() uint64 {
 		if m.clock.TracerPinned {
 			return 1
@@ -390,6 +418,21 @@ func (m *Machine) Run(ctx context.Context) (int64, error) {
 	if err := m.Fault(); err != nil {
 		return m.cycle, err
 	}
+	if m.cfg.Parallel.Workers > 1 {
+		return m.runParallel(ctx, limit)
+	}
+	_, err := m.runSeq(ctx, limit, limit)
+	return m.cycle, err
+}
+
+// runSeq is the sequential two-speed loop: it executes while m.cycle <
+// until, returning (true, nil) when every core finished, (false, err)
+// on a fault, an exhausted cycle budget, or cancellation, and (false,
+// nil) when until was reached first. Run calls it with until == limit
+// (the budget error fires before the until return, preserving the
+// historical behaviour); the parallel runner uses bounded legs between
+// epoch attempts.
+func (m *Machine) runSeq(ctx context.Context, limit, until int64) (bool, error) {
 	done := ctx.Done()
 	untilCheck := ctxCheckInterval
 	for {
@@ -397,19 +440,22 @@ func (m *Machine) Run(ctx context.Context) (int64, error) {
 			untilCheck = ctxCheckInterval
 			select {
 			case <-done:
-				return m.cycle, ctx.Err()
+				return false, ctx.Err()
 			default:
 			}
 		}
 		if m.cycle >= limit {
-			return m.cycle, fmt.Errorf("machine: exceeded %d cycles (livelock or runaway program?)", limit)
+			return false, fmt.Errorf("machine: exceeded %d cycles (livelock or runaway program?)", limit)
+		}
+		if m.cycle >= until {
+			return false, nil
 		}
 		allDone, fault, active := m.stepCycle()
 		if allDone {
-			return m.cycle, nil
+			return true, nil
 		}
 		if fault != nil {
-			return m.cycle, fault
+			return false, fault
 		}
 		if active {
 			continue

@@ -168,9 +168,20 @@ type tagLine struct {
 	tag     int64
 	valid   bool
 	dirty   bool
-	sharers uint64 // bitmask of cores with a private copy (S/E/M)
-	owner   int8   // core index holding E/M, or -1
+	sharers sharerSet // cores with a private copy (S/E/M)
+	owner   int16     // core index holding E/M, or -1
 	lru     uint64
+}
+
+// reset re-points the line at tag with empty directory state, keeping
+// the sharer set's extension pages for reuse. The caller touches the
+// line afterwards, so the stale lru stamp never survives.
+func (l *tagLine) reset(tag int64) {
+	l.tag = tag
+	l.valid = true
+	l.dirty = false
+	l.sharers.clear()
+	l.owner = -1
 }
 
 // tagStore is one bank of an outer cache level: the single array of a
@@ -290,8 +301,8 @@ func (h *Hierarchy) disturb(core int, line int64) {
 
 // NewHierarchy builds a hierarchy for the given core count.
 func NewHierarchy(cores int, cfg Config) (*Hierarchy, error) {
-	if cores <= 0 || cores > 64 {
-		return nil, fmt.Errorf("memsys: core count %d out of range [1,64]", cores)
+	if cores <= 0 || cores > MaxCores {
+		return nil, fmt.Errorf("memsys: core count %d out of range [1,%d]", cores, MaxCores)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -404,23 +415,53 @@ func (h *Hierarchy) TotalStats() CoreStats {
 
 func (h *Hierarchy) lineOf(addr int64) int64 { return addr >> h.lineShift }
 
-// Sharers returns the directory's sharer bitmask for the line containing
-// addr — the cores whose private levels may hold a copy — and whether the
-// line is present in the directory at all (an absent line means the mask
-// is unknown and callers must assume every core).
+// Sharers returns the directory's sharer set for the line containing
+// addr as a sorted core-index slice — the cores whose private levels may
+// hold a copy — and whether the line is present in the directory at all
+// (an absent line means the set is unknown and callers must assume every
+// core). The cost is O(sharers), independent of the machine's core
+// count.
 //
-// Note the mask is a snapshot, not a history: a write Access to the line
+// Note the set is a snapshot, not a history: a write Access to the line
 // resets it to the writer alone, and a last-level eviction discards it,
 // while loads that used the line may still be in flight in some core's
 // ROB. Machine.broadcastStore therefore does NOT use it as a snoop filter
 // — doing so could skip a core holding a speculative load that must
 // replay — and relies on the exact per-core spec-load occupancy count
 // instead (see DESIGN.md, "Snoop filtering").
-func (h *Hierarchy) Sharers(addr int64) (uint64, bool) {
+func (h *Hierarchy) Sharers(addr int64) ([]int, bool) {
 	if l := h.directory().find(h.lineOf(addr)); l != nil {
-		return l.sharers, true
+		return l.sharers.members(), true
 	}
-	return 0, false
+	return nil, false
+}
+
+// SharersBesides reports whether the directory names any core other than
+// core as a sharer of addr's line. An absent directory entry is
+// conservatively reported as shared: the set is unknown, so callers must
+// assume another core holds a copy. The probe is read-only — no LRU
+// movement, no stats — so the parallel engine's hazard scan can call it
+// without perturbing the simulation.
+func (h *Hierarchy) SharersBesides(core int, addr int64) bool {
+	if l := h.directory().find(h.lineOf(addr)); l != nil {
+		return l.sharers.anyBesides(core)
+	}
+	return true
+}
+
+// LocalHit reports whether an access by core to addr would be a pure
+// private-L1 hit: a read of any valid line, or a write to a Modified or
+// Exclusive line (the silent E→M upgrade). Exactly these accesses touch
+// only core-indexed state (the core's own L1 bank, ver[core],
+// stats[core]) inside Access — a Shared-write upgrade travels to the
+// directory and so reports false. The probe is read-only; the machine's
+// parallel epochs use it to fence cores off the shared levels.
+func (h *Hierarchy) LocalHit(core int, addr int64, write bool) bool {
+	l := h.inner[core].find(h.lineOf(addr))
+	if l == nil {
+		return false
+	}
+	return !write || l.state == l1Modified || l.state == l1Exclusive
 }
 
 // --- innermost-level helpers ---
@@ -535,13 +576,15 @@ func (h *Hierarchy) dropPrivateMiddleCopies(core int, line int64) {
 }
 
 // invalidatePrivateCopies removes the line from every private level of
-// every core named in the sharer mask (back-invalidation or coherence
+// every core named in the sharer set (back-invalidation or coherence
 // invalidation), charging the Invalidations stat once per core losing a
-// copy and Writebacks for a modified innermost copy.
-func (h *Hierarchy) invalidatePrivateCopies(line int64, sharers uint64, except int) {
-	for c := 0; c < h.cores; c++ {
-		if c == except || sharers&(1<<uint(c)) == 0 {
-			continue
+// copy and Writebacks for a modified innermost copy. The walk visits
+// sharers in ascending core order — the same order the historical
+// all-cores loop produced — but costs O(sharers), not O(cores).
+func (h *Hierarchy) invalidatePrivateCopies(line int64, sharers *sharerSet, except int) {
+	sharers.forEach(func(c int) {
+		if c == except || c >= h.cores {
+			return
 		}
 		found := false
 		if l := h.inner[c].find(line); l != nil {
@@ -564,7 +607,7 @@ func (h *Hierarchy) invalidatePrivateCopies(line int64, sharers uint64, except i
 			h.stats[c].Invalidations++
 			h.disturb(c, line)
 		}
-	}
+	})
 }
 
 // markOuterDirty records a writeback of tag into the nearest level at or
@@ -586,13 +629,16 @@ func (h *Hierarchy) markOuterDirty(fromOuter, core int, tag int64) {
 // stale; a later invalidation of the stale sharer is a harmless no-op).
 func (h *Hierarchy) evictOuter(j, core int, v *tagLine) {
 	if h.outer[j].cfg.Shared {
-		mask := v.sharers
+		mask := &v.sharers
 		if j != len(h.outer)-1 {
-			// Middle shared level: the mask lives at the directory; an
+			// Middle shared level: the set lives at the directory; an
 			// absent directory entry means assume every core.
-			mask = ^uint64(0)
 			if dl := h.directory().find(v.tag); dl != nil {
-				mask = dl.sharers
+				mask = &dl.sharers
+			} else {
+				var all sharerSet
+				all.fill(h.cores)
+				mask = &all
 			}
 		}
 		h.invalidatePrivateCopies(v.tag, mask, -1)
@@ -678,9 +724,9 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 			st.Upgrades++
 			lat := h.pathLatency()
 			if dl := h.directory().find(line); dl != nil {
-				h.invalidatePrivateCopies(line, dl.sharers, core)
-				dl.sharers = 1 << uint(core)
-				dl.owner = int8(core)
+				h.invalidatePrivateCopies(line, &dl.sharers, core)
+				dl.sharers.only(core)
+				dl.owner = int16(core)
 				dl.dirty = true
 				h.directory().touch(dl)
 			}
@@ -722,7 +768,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 		if v.valid {
 			h.evictOuter(len(h.outer)-1, core, v)
 		}
-		*v = tagLine{tag: line, valid: true, owner: -1}
+		v.reset(line)
 		dl = v
 	} else {
 		// The line is present at the directory by inclusion (the
@@ -734,7 +780,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 			if v.valid {
 				h.evictOuter(len(h.outer)-1, core, v)
 			}
-			*v = tagLine{tag: line, valid: true, owner: -1}
+			v.reset(line)
 			dl = v
 		}
 		// If another core holds the line modified, it must supply the
@@ -768,13 +814,13 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 
 	// Coherence action at the directory.
 	if write {
-		h.invalidatePrivateCopies(line, dl.sharers, core)
-		dl.sharers = 1 << uint(core)
-		dl.owner = int8(core)
+		h.invalidatePrivateCopies(line, &dl.sharers, core)
+		dl.sharers.only(core)
+		dl.owner = int16(core)
 		dl.dirty = true
 	} else {
-		dl.sharers |= 1 << uint(core)
-		if dl.sharers != 1<<uint(core) {
+		dl.sharers.add(core)
+		if !dl.sharers.lone(core) {
 			dl.owner = -1
 		}
 	}
@@ -796,7 +842,7 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 		if v.valid {
 			h.evictOuter(j, core, v)
 		}
-		*v = tagLine{tag: line, valid: true, owner: -1}
+		v.reset(line)
 		b.touch(v)
 	}
 
@@ -815,9 +861,9 @@ func (h *Hierarchy) Access(core int, addr int64, write bool) int {
 	switch {
 	case write:
 		v.state = l1Modified
-	case dl.sharers == 1<<uint(core):
+	case dl.sharers.lone(core):
 		v.state = l1Exclusive
-		dl.owner = int8(core)
+		dl.owner = int16(core)
 	default:
 		v.state = l1Shared
 	}

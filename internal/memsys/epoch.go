@@ -1,0 +1,55 @@
+package memsys
+
+// Parallel-epoch support: the machine's optimistic epochs run each core
+// against its own private L1 only (gated by LocalHit), so the only
+// hierarchy state a core can have mutated when an epoch fails is its own
+// L1 bank, its perturbation version, and its stat counters. CoreEpoch
+// captures exactly that slice of the hierarchy at epoch start and
+// restores it in place on failure. Outer levels — including private
+// middle banks — are never touched in-epoch (an access that would leave
+// the L1 blocks the epoch before reaching them), so they need no
+// checkpoint.
+
+// CoreEpoch is one core's hierarchy checkpoint. The zero value is ready
+// to use; Save reuses its buffers across epochs.
+type CoreEpoch struct {
+	lines []l1Line
+	tick  uint64
+	ver   uint64
+	stats CoreStats
+}
+
+// SaveCore checkpoints core's private-L1 bank, version, and counters
+// into cp, reusing cp's buffers when already sized.
+func (h *Hierarchy) SaveCore(core int, cp *CoreEpoch) {
+	l1 := &h.inner[core]
+	if len(cp.lines) != len(l1.lines) {
+		cp.lines = make([]l1Line, len(l1.lines))
+	}
+	copy(cp.lines, l1.lines)
+	cp.tick = l1.tick
+	cp.ver = h.ver[core]
+	src := &h.stats[core]
+	if len(cp.stats.Level) != len(src.Level) {
+		cp.stats.Level = make([]LevelStats, len(src.Level))
+	}
+	lv := cp.stats.Level
+	cp.stats = *src
+	cp.stats.Level = lv
+	copy(cp.stats.Level, src.Level)
+}
+
+// RestoreCore writes cp back into core's slice of the hierarchy. Counter
+// values are restored through the existing CoreStats storage — the stats
+// registry holds pointers into it, so the struct itself must not move.
+func (h *Hierarchy) RestoreCore(core int, cp *CoreEpoch) {
+	l1 := &h.inner[core]
+	copy(l1.lines, cp.lines)
+	l1.tick = cp.tick
+	h.ver[core] = cp.ver
+	dst := &h.stats[core]
+	lv := dst.Level
+	*dst = cp.stats
+	dst.Level = lv
+	copy(dst.Level, cp.stats.Level)
+}

@@ -303,8 +303,11 @@ func TestHierarchyRejectsBadCoreCount(t *testing.T) {
 	if _, err := NewHierarchy(0, DefaultConfig()); err == nil {
 		t.Error("0 cores accepted")
 	}
-	if _, err := NewHierarchy(65, DefaultConfig()); err == nil {
-		t.Error("65 cores accepted")
+	if _, err := NewHierarchy(MaxCores+1, DefaultConfig()); err == nil {
+		t.Errorf("%d cores accepted", MaxCores+1)
+	}
+	if _, err := NewHierarchy(65, DefaultConfig()); err != nil {
+		t.Errorf("65 cores rejected: %v", err)
 	}
 }
 

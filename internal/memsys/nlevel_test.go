@@ -180,7 +180,7 @@ func TestRemoteWriteChargesOneInvalidation(t *testing.T) {
 	}
 }
 
-// TestSharersDepth3 checks the directory accessor at depth 3: the mask
+// TestSharersDepth3 checks the directory accessor at depth 3: the set
 // lives at the outermost shared level and keeps naming a core whose copy
 // only survives in a middle private level.
 func TestSharersDepth3(t *testing.T) {
@@ -195,20 +195,20 @@ func TestSharersDepth3(t *testing.T) {
 	}
 	h.Access(0, addr(0), false)
 	h.Access(1, addr(0), false)
-	if mask, ok := h.Sharers(addr(0)); !ok || mask != 0b11 {
-		t.Fatalf("sharers after reads = %b (present=%v), want 11", mask, ok)
+	if set, ok := h.Sharers(addr(0)); !ok || !reflect.DeepEqual(set, []int{0, 1}) {
+		t.Fatalf("sharers after reads = %v (present=%v), want [0 1]", set, ok)
 	}
 	// Evict core0's L1 copy; the private-L2 copy keeps core0 a sharer.
 	for i := 1; i <= 4; i++ {
 		h.Access(0, addr(i), false)
 	}
-	if mask, _ := h.Sharers(addr(0)); mask != 0b11 {
-		t.Fatalf("sharers after core0 L1 eviction = %b, want 11 (middle-level copy remains)", mask)
+	if set, _ := h.Sharers(addr(0)); !reflect.DeepEqual(set, []int{0, 1}) {
+		t.Fatalf("sharers after core0 L1 eviction = %v, want [0 1] (middle-level copy remains)", set)
 	}
 	// A write resets the mask to the writer alone.
 	h.Access(2, addr(0), true)
-	if mask, ok := h.Sharers(addr(0)); !ok || mask != 0b100 {
-		t.Fatalf("sharers after write by core 2 = %b (present=%v), want 100", mask, ok)
+	if set, ok := h.Sharers(addr(0)); !ok || !reflect.DeepEqual(set, []int{2}) {
+		t.Fatalf("sharers after write by core 2 = %v (present=%v), want [2]", set, ok)
 	}
 }
 

@@ -208,7 +208,7 @@ func TestCheckConcurrentSeeds(t *testing.T) {
 		if rep.Threads < 2 || rep.Threads > concMaxThreads {
 			t.Fatalf("seed %d: %d threads out of range", seed, rep.Threads)
 		}
-		if want := len(depths) * (NumVariants + 1); len(rep.Runs) != want {
+		if want := len(depths) * (NumVariants + 1) * (1 + len(concWorkerCounts)); len(rep.Runs) != want {
 			t.Fatalf("seed %d: %d runs, want %d", seed, len(rep.Runs), want)
 		}
 		if rep.OracleSteps <= 0 {
@@ -218,5 +218,28 @@ func TestCheckConcurrentSeeds(t *testing.T) {
 			t.Fatalf("seed %d: inference rewrote %d fences, flagged %d accesses; every scenario synchronizes",
 				seed, rep.InferredFences, rep.InferredFlagged)
 		}
+	}
+}
+
+// TestCheckConcurrentWide runs the full differential on one wide
+// (>=16-thread) scenario: many-sharer directory state, worker
+// partitioning across a machine wider than any narrow fuzz draw, and
+// the SC oracle all have to agree. The committed fuzz corpus carries
+// two wide seeds; this test keeps one of them in the always-on suite
+// even when the corpus is not replayed.
+func TestCheckConcurrentWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide concurrent differential is slow")
+	}
+	seed := concWideSeedBit | 3
+	if n := GenConcurrent(seed).NumThreads; n < concWideMinThreads || n > concWideMaxThreads {
+		t.Fatalf("wide seed generated %d threads, want [%d,%d]", n, concWideMinThreads, concWideMaxThreads)
+	}
+	rep, err := CheckConcurrent(seed, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threads < concWideMinThreads {
+		t.Fatalf("report says %d threads, want >= %d", rep.Threads, concWideMinThreads)
 	}
 }

@@ -119,6 +119,19 @@ const (
 	concMaxThreads  = 5
 )
 
+// Wide scenarios: a seed with concWideSeedBit set generates
+// concWideMinThreads..concWideMaxThreads threads instead of the usual
+// 2..concMaxThreads, exercising the directory's many-sharer paths and
+// the parallel runner's worker partitioning on machines wider than a
+// typical fuzz draw. The bit lives far above the small integers the
+// seed corpus uses, so every historical seed keeps generating exactly
+// the scenario its corpus filename describes.
+const (
+	concWideSeedBit    = int64(1) << 40
+	concWideMinThreads = 16
+	concWideMaxThreads = 24
+)
+
 // concPrivAddr returns thread t's private window base.
 func concPrivAddr(t int) int64 { return concPrivBase + int64(t)*concPrivStride }
 
@@ -214,6 +227,12 @@ type concGen struct {
 func emitConc(seed int64, v Variant) (*isa.Program, int) {
 	g := &concGen{rng: rand.New(rand.NewSource(seed)), b: isa.NewBuilder(), l: lowering{v}}
 	g.threads = 2 + g.rng.Intn(concMaxThreads-1)
+	if seed&concWideSeedBit != 0 {
+		// The narrow draw above still happens so non-wide seeds keep
+		// their historical random stream; wide seeds just override the
+		// thread count with a second draw.
+		g.threads = concWideMinThreads + g.rng.Intn(concWideMaxThreads-concWideMinThreads+1)
+	}
 	g.counters = 1 + g.rng.Intn(3)
 	g.locks = g.rng.Intn(3)
 	nEdges := g.threads - 1 // chain t0 -> t1 -> ... by default

@@ -186,6 +186,24 @@ func Experiments() []ExperimentSpec {
 			(*exp.Session).FigureDepth,
 			func(su *Suite, v []exp.BenchGroup) { su.FigureDepth = v },
 			func(su *Suite) []exp.BenchGroup { return su.FigureDepth }),
+		typedSpec("fig-cores", kindTitles[KindFigureCores], KindFigureCores, "BENCH_CORES.json",
+			func(ctx context.Context, s *exp.Session, sc exp.Scale) ([]exp.CoresRow, error) {
+				return s.FigureCores(ctx, sc)
+			},
+			CoresJSON,
+			exp.RenderCores,
+			func(su *Suite, v []exp.CoresRow) { su.FigureCores = v },
+			func(su *Suite) []exp.CoresRow { return su.FigureCores },
+		),
+		typedSpec("fig-heatmap", kindTitles[KindHeatmap], KindHeatmap, "BENCH_HEATMAP.json",
+			func(ctx context.Context, s *exp.Session, sc exp.Scale) ([]exp.HeatmapRow, error) {
+				return s.FigureHeatmap(ctx, sc)
+			},
+			HeatmapJSON,
+			exp.RenderHeatmap,
+			func(su *Suite, v []exp.HeatmapRow) { su.Heatmap = v },
+			func(su *Suite) []exp.HeatmapRow { return su.Heatmap },
+		),
 		groupFigureSpec("fig-inferred", KindInferred, "BENCH_INFERRED.json",
 			"Inferred scopes — T (traditional), S (hand annotations), I (static inference)",
 			(*exp.Session).FigureInferred,
@@ -281,19 +299,36 @@ func LookupExperiment(id string) (ExperimentSpec, error) {
 	return ExperimentSpec{}, &ErrUnknownExperiment{ID: id, Valid: ExperimentIDs()}
 }
 
-// renderSimPerf formats the simulator-performance report.
+// renderSimPerf formats the simulator-performance report: the clock
+// comparison first, then the parallel-runner rows (if any).
 func renderSimPerf(rep SimPerfReport) string {
 	var sb strings.Builder
 	sb.WriteString(simPerfTitle + "\n")
 	sb.WriteString(fmt.Sprintf("%-14s%-12s%12s%14s%14s%9s\n",
 		"bench", "mode", "simcycles", "naive cyc/s", "event cyc/s", "speedup"))
+	var par []SimPerfRow
 	for _, r := range rep.Rows {
+		if r.Workers > 0 {
+			par = append(par, r)
+			continue
+		}
 		mode := r.Mode
 		if r.Observer {
 			mode += "+obs"
 		}
 		sb.WriteString(fmt.Sprintf("%-14s%-12s%12d%14.0f%14.0f%8.2fx\n",
 			r.Bench, mode, r.SimCycles, r.NaiveCyclesPerSec, r.EventCyclesPerSec, r.Speedup))
+	}
+	if len(par) > 0 {
+		sb.WriteString("\nParallel runner — sequential vs epoch-barriered wall clock (bit-identical results)\n")
+		sb.WriteString(fmt.Sprintf("%-14s%7s%9s%12s%12s%12s%9s%12s%8s\n",
+			"bench", "cores", "workers", "simcycles", "seq ms", "par ms", "speedup", "epochcyc", "fails"))
+		for _, r := range par {
+			sb.WriteString(fmt.Sprintf("%-14s%7d%9d%12d%12.1f%12.1f%8.2fx%12d%8d\n",
+				r.Bench, r.Cores, r.Workers, r.SimCycles,
+				float64(r.SeqNs)/1e6, float64(r.EventNs)/1e6, r.ParSpeedup,
+				r.EpochCycles, r.EpochFails))
+		}
 	}
 	return sb.String()
 }

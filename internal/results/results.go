@@ -25,7 +25,11 @@ import (
 // run records changes incompatibly; readers must reject other versions.
 // v2: SimPerfRow grew per-kernel spin accounting (spinJumps,
 // spinSkippedCycles) and the simperf suite covers every Table IV kernel.
-const SchemaVersion = 2
+// v3: the cache key ignores machine.Config.Parallel (simulated results
+// are worker-invariant), new fig-cores and fig-heatmap artifacts, and
+// SimPerfRow grew the parallel-runner block (workers, wall-clock
+// speedup, epoch accounting).
+const SchemaVersion = 3
 
 // Paper identifies the reproduced paper in every envelope.
 const Paper = "conf_sc_LinNG14 (Fence Scoping, Lin/Nagarajan/Gupta, SC '14)"
@@ -127,6 +131,8 @@ const (
 	KindFigure15     = "figure15"
 	KindFigure16     = "figure16"
 	KindFigureDepth  = "figure-depth"
+	KindFigureCores  = "figure-cores"
+	KindHeatmap      = "heatmap"
 	KindInferred     = "figure-inferred"
 	KindAblations    = "ablations"
 	KindTableIII     = "tableIII"
@@ -142,6 +148,8 @@ var kindTitles = map[string]string{
 	KindFigure15:     "Figure 15 — Varying memory access latency (200/300/500 cycles)",
 	KindFigure16:     "Figure 16 — Varying ROB size (64/128/256 entries)",
 	KindFigureDepth:  "Depth sweep — Varying memory-hierarchy depth (2/3/4 levels, beyond the paper)",
+	KindFigureCores:  "Core-count sweep — scale kernels at 8/64/256 cores (beyond the paper)",
+	KindHeatmap:      "Fence-site stall-intensity heatmap (beyond the paper)",
 	KindInferred:     "Inferred scopes — hand annotations vs. static scope inference (beyond the paper)",
 	KindAblations:    "Ablations — design-choice sweeps beyond the paper",
 	KindTableIII:     "Table III — Architectural parameters",
@@ -161,6 +169,16 @@ func GroupsJSON(kind string, groups []exp.BenchGroup, sc exp.Scale) ([]byte, err
 		return nil, fmt.Errorf("results: unknown figure kind %q", kind)
 	}
 	return Marshal(NewEnvelope(kind, title, sc, groups))
+}
+
+// CoresJSON renders the core-count sweep artifact.
+func CoresJSON(rows []exp.CoresRow, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindFigureCores, kindTitles[KindFigureCores], sc, rows))
+}
+
+// HeatmapJSON renders the fence-site heatmap artifact.
+func HeatmapJSON(rows []exp.HeatmapRow, sc exp.Scale) ([]byte, error) {
+	return Marshal(NewEnvelope(KindHeatmap, kindTitles[KindHeatmap], sc, rows))
 }
 
 // AblationsJSON renders the combined ablation artifact.

@@ -27,6 +27,10 @@ type SuiteOptions struct {
 	Progress exp.ProgressFunc
 	// Parallelism bounds the session's worker pool (0 = GOMAXPROCS).
 	Parallelism int
+	// Workers, when > 1, runs each simulation on the epoch-barriered
+	// parallel machine runner. Results are bit-identical at any worker
+	// count (and the cache key ignores it), so artifacts are unaffected.
+	Workers int
 }
 
 // Suite holds every structured result of the paper's evaluation section
@@ -44,10 +48,15 @@ type Suite struct {
 	// annotations, and statically inferred scopes (kernels.Inferred) on
 	// every Table IV benchmark.
 	FigureInferred []exp.BenchGroup
-	Ablations      []AblationSet
-	HardwareCost   exp.HardwareCostReport
-	TableIII       []exp.TableIIIRow
-	TableIV        []BenchmarkInfo
+	// FigureCores sweeps the scale kernels across 8/64/256-core machines;
+	// Heatmap breaks every benchmark's fence stall down per static fence
+	// site. Both are deterministic simulated data (beyond the paper).
+	FigureCores  []exp.CoresRow
+	Heatmap      []exp.HeatmapRow
+	Ablations    []AblationSet
+	HardwareCost exp.HardwareCostReport
+	TableIII     []exp.TableIIIRow
+	TableIV      []BenchmarkInfo
 
 	// SimRequests and SimDistinct count the simulations the experiments
 	// asked for and the distinct configurations among them. Both are
@@ -129,7 +138,7 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*Suite, error) {
 	if opts.Cache != nil {
 		before = opts.Cache.Stats()
 	}
-	session := exp.NewSession(counting, opts.Progress, opts.Parallelism)
+	session := exp.NewSession(counting, opts.Progress, opts.Parallelism).WithWorkers(opts.Workers)
 
 	s := &Suite{Scale: opts.Scale}
 	for _, spec := range Experiments() {

@@ -242,7 +242,8 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		byID[s.ID] = s
 	}
 	want := []string{
-		"fig12", "fig13", "fig14", "fig15", "fig16", "fig-depth", "fig-inferred",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig-depth",
+		"fig-cores", "fig-heatmap", "fig-inferred",
 		"ablation/fsb-entries", "ablation/fss-depth", "ablation/store-buffer",
 		"ablation/fifo-store-buffer", "ablation/finer-fences",
 		"ablation/nested-scopes", "ablation/fss-recovery",
@@ -267,6 +268,12 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if !byID["fig-depth"].InSuite() || byID["fig-depth"].Artifact != "BENCH_DEPTH.json" {
 		t.Errorf("fig-depth spec malformed: %+v", byID["fig-depth"])
+	}
+	if !byID["fig-cores"].InSuite() || byID["fig-cores"].Artifact != "BENCH_CORES.json" {
+		t.Errorf("fig-cores spec malformed: %+v", byID["fig-cores"])
+	}
+	if !byID["fig-heatmap"].InSuite() || byID["fig-heatmap"].Artifact != "BENCH_HEATMAP.json" {
+		t.Errorf("fig-heatmap spec malformed: %+v", byID["fig-heatmap"])
 	}
 }
 

@@ -1,0 +1,232 @@
+// Differential test of the optimistic-epoch parallel runner: every
+// Table IV kernel and every litmus configuration is simulated with the
+// sequential two-speed clock (Workers=1, the reference) and with
+// Workers=2 and Workers=4, and the runs must be bit-identical — same
+// final cycle, same registers, same memory image, same full stats
+// registry outside machine.clock.*. This is the safety proof the
+// parallel core rests on: an epoch either commits exactly what
+// per-cycle stepping would have produced, or aborts without trace.
+// Run it under -race to also certify the epoch workers share nothing
+// they should not.
+package sfence_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sfence/internal/cpu"
+	"sfence/internal/isa"
+	"sfence/internal/kernels"
+	"sfence/internal/litmus"
+	"sfence/internal/machine"
+	"sfence/internal/memsys"
+)
+
+// parallelWorkerCounts are the worker counts differenced against the
+// sequential reference.
+var parallelWorkerCounts = []int{2, 4}
+
+// runWorkers builds and runs one kernel machine with the given worker
+// count, returning the machine and its final cycle.
+func runWorkers(t *testing.T, bench string, opts kernels.Options, cfg machine.Config, workers int) (*machine.Machine, int64) {
+	t.Helper()
+	cfg.Parallel.Workers = workers
+	_, m := buildKernelMachine(t, bench, opts, cfg)
+	cyc, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	return m, cyc
+}
+
+// assertParallelClock checks the parallel runner's extended cycle
+// identity: slow ticks, fast-forwarded cycles, and epoch-committed
+// cycles partition the run.
+func assertParallelClock(t *testing.T, m *machine.Machine, cycles int64) {
+	t.Helper()
+	cs := m.Clock()
+	if cs.SlowTicks+cs.SkippedCycles+cs.EpochCycles != cycles {
+		t.Errorf("clock accounting broken: %d slow + %d skipped + %d epoch != %d cycles (%+v)",
+			cs.SlowTicks, cs.SkippedCycles, cs.EpochCycles, cycles, cs)
+	}
+	if cs.EpochFails > cs.Epochs {
+		t.Errorf("more epoch failures than attempts: %+v", cs)
+	}
+}
+
+// TestParallelEquivalenceKernels differences Workers=2,4 against the
+// sequential runner for every Table IV kernel under traditional and
+// scoped fences, with and without in-window speculation.
+func TestParallelEquivalenceKernels(t *testing.T) {
+	benches := []string{"dekker", "wsq", "msn", "harris", "barnes", "radiosity", "pst", "ptc", "nested-scope", "fence-drain"}
+	for _, bench := range benches {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			for _, spec := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/spec=%v", bench, mode, spec)
+				t.Run(name, func(t *testing.T) {
+					opts := kernels.Options{Mode: mode, Ops: quickOps[bench], Workload: 2}
+					cfg := machine.DefaultConfig()
+					cfg.Core.InWindowSpec = spec
+					mSeq, seqCyc := runWorkers(t, bench, opts, cfg, 1)
+					for _, w := range parallelWorkerCounts {
+						mPar, parCyc := runWorkers(t, bench, opts, cfg, w)
+						assertMachinesEqual(t, fmt.Sprintf("%s/workers=%d", name, w), mSeq, mPar, seqCyc, parCyc)
+						assertParallelClock(t, mPar, parCyc)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceDepth3 re-runs the kernel differential on a
+// three-level hierarchy, where hazard scans see middle private banks
+// and different latency structure.
+func TestParallelEquivalenceDepth3(t *testing.T) {
+	for _, info := range kernels.All() {
+		bench := info.Name
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			name := fmt.Sprintf("depth3/%s/%v", bench, mode)
+			t.Run(name, func(t *testing.T) {
+				opts := kernels.Options{Mode: mode, Ops: quickOps[bench], Workload: 2}
+				cfg := machine.DefaultConfig()
+				cfg.Mem = memsys.DepthConfig(3)
+				mSeq, seqCyc := runWorkers(t, bench, opts, cfg, 1)
+				for _, w := range parallelWorkerCounts {
+					mPar, parCyc := runWorkers(t, bench, opts, cfg, w)
+					assertMachinesEqual(t, fmt.Sprintf("%s/workers=%d", name, w), mSeq, mPar, seqCyc, parCyc)
+					assertParallelClock(t, mPar, parCyc)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceLitmus differences every litmus test and
+// machine configuration across worker counts. Litmus programs are
+// all-interaction, so these runs mostly exercise the abort path — every
+// epoch must vanish without trace.
+func TestParallelEquivalenceLitmus(t *testing.T) {
+	tests := []*litmus.Test{
+		litmus.StoreBuffering(false, isa.ScopeGlobal),
+		litmus.StoreBuffering(true, isa.ScopeGlobal),
+		litmus.StoreBuffering(true, isa.ScopeSet),
+		litmus.MessagePassing(false),
+		litmus.MessagePassing(true),
+		litmus.LoadBuffering(),
+		litmus.IRIW(),
+		litmus.ClassScopedSB(),
+		litmus.ScopedSBLeaky(),
+		litmus.SBWithStoreStoreFence(),
+		litmus.MessagePassingSS(isa.ScopeGlobal),
+		litmus.MessagePassingSS(isa.ScopeClass),
+		litmus.CASIncrement(4, 16),
+		litmus.CoWW(),
+		litmus.MessagePassingFiner(),
+	}
+	cfgs := map[string]func(*machine.Config){
+		"base": func(*machine.Config) {},
+		"spec": func(c *machine.Config) { c.Core.InWindowSpec = true },
+		"fifo": func(c *machine.Config) { c.Core.FIFOStoreBuffer = true },
+		"spec-shadow": func(c *machine.Config) {
+			c.Core.InWindowSpec = true
+			c.Core.Recovery = cpu.RecoveryShadow
+		},
+	}
+	for cfgName, tweak := range cfgs {
+		for _, lt := range tests {
+			name := fmt.Sprintf("%s/%s", cfgName, lt.Name)
+			t.Run(name, func(t *testing.T) {
+				cfg := litmus.DefaultMachineConfig()
+				tweak(&cfg)
+				run := func(workers int) (*machine.Machine, int64) {
+					c := cfg
+					c.Parallel.Workers = workers
+					m, err := machine.New(c, lt.Program, lt.Threads)
+					if err != nil {
+						t.Fatalf("machine: %v", err)
+					}
+					cyc, err := m.Run(context.Background())
+					if err != nil {
+						t.Fatalf("run (workers=%d): %v", workers, err)
+					}
+					return m, cyc
+				}
+				mSeq, seqCyc := run(1)
+				for _, w := range parallelWorkerCounts {
+					mPar, parCyc := run(w)
+					assertMachinesEqual(t, fmt.Sprintf("%s/workers=%d", name, w), mSeq, mPar, seqCyc, parCyc)
+					assertParallelClock(t, mPar, parCyc)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceManyCore differences the scale kernels on wide
+// machines — 65 cores (first paged-sharer configuration past the inline
+// bitmask) and 256 cores — and additionally requires that the epoch
+// machinery actually engaged: the scale kernels' long private compute
+// phases are exactly the traffic optimistic epochs exist to commit, so a
+// run that never commits an epoch means the parallel core silently
+// degraded to sequential stepping.
+func TestParallelEquivalenceManyCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many-core differential is slow")
+	}
+	for _, tc := range []struct {
+		bench    string
+		cores    int
+		workload int // scale's balanced ring needs longer compute phases than the straggler variant
+	}{
+		{"scale", 65, 4},
+		{"scale-imb", 65, 1},
+		{"scale", 256, 4},
+		{"scale-imb", 256, 1},
+	} {
+		for _, mode := range []kernels.FenceMode{kernels.Traditional, kernels.Scoped} {
+			name := fmt.Sprintf("%s/%d/%v", tc.bench, tc.cores, mode)
+			t.Run(name, func(t *testing.T) {
+				opts := kernels.Options{Mode: mode, Threads: tc.cores, Ops: 2, Workload: tc.workload}
+				cfg := machine.DefaultConfig()
+				cfg.Cores = tc.cores
+				mSeq, seqCyc := runWorkers(t, tc.bench, opts, cfg, 1)
+				for _, w := range parallelWorkerCounts {
+					mPar, parCyc := runWorkers(t, tc.bench, opts, cfg, w)
+					assertMachinesEqual(t, fmt.Sprintf("%s/workers=%d", name, w), mSeq, mPar, seqCyc, parCyc)
+					assertParallelClock(t, mPar, parCyc)
+					cs := mPar.Clock()
+					if cs.Epochs == cs.EpochFails {
+						t.Errorf("no epoch ever committed on %s (workers=%d): %+v", name, w, cs)
+					}
+					if cs.EpochCycles == 0 {
+						t.Errorf("epochs committed zero cycles on %s (workers=%d): %+v", name, w, cs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelTracedFallsBack pins the sequential fallback: a traced
+// machine must never attempt an epoch, whatever Workers says.
+func TestParallelTracedFallsBack(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Parallel.Workers = 4
+	_, m := buildKernelMachine(t, "fence-drain",
+		kernels.Options{Mode: kernels.Traditional, Ops: 20}, cfg)
+	for i := 0; i < m.Cores(); i++ {
+		m.Core(i).SetTracer(countingTracer{})
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	cs := m.Clock()
+	if cs.Epochs != 0 {
+		t.Fatalf("traced machine attempted epochs: %+v", cs)
+	}
+	if !cs.TracerPinned {
+		t.Fatalf("traced fallback did not pin: %+v", cs)
+	}
+}
