@@ -12,6 +12,15 @@
 //	sfence-bench -quick ablation/fsb-entries ablation/fss-depth
 //	sfence-bench -cache /tmp/sfc -all    # memoize simulations on disk
 //	sfence-bench simperf                 # measure the simulator itself
+//	sfence-bench -server http://localhost:8080 table4
+//	                                     # run on a sfence-serve instance
+//
+// With -server the experiments run remotely on a sfence-serve instance
+// sharing its bounded cache with every other tenant; the output is the
+// schema-versioned JSON envelope (byte-identical to a local -json run,
+// since the simulator is deterministic), and -progress follows the
+// server's live NDJSON event stream. Ctrl-C disconnects the stream,
+// which cancels the remote job mid-cycle-loop.
 //
 // An unknown experiment ID fails with an error listing every valid ID.
 package main
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"sfence"
+	"sfence/internal/serve"
 )
 
 func main() {
@@ -38,6 +48,8 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit schema-versioned JSON envelopes instead of ASCII")
 		progress   = flag.Bool("progress", false, "report per-experiment progress on stderr")
 		cacheDir   = flag.String("cache", "", "memoize simulations in this run-cache directory")
+		server     = flag.String("server", "", "run experiments on the sfence-serve instance at this base URL instead of locally (output is the JSON envelope)")
+		tenant     = flag.String("tenant", "", "tenant label sent with -server requests (X-Tenant header)")
 		parallel   = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
 		workers    = flag.Int("workers", 0, "machine worker threads per simulation (0 = GOMAXPROCS left over by -parallel; 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -117,6 +129,51 @@ func main() {
 	sc := sfence.Full
 	if *quick {
 		sc = sfence.Quick
+	}
+
+	if *server != "" {
+		// Remote mode: every experiment becomes a job on the shared
+		// server. Ctrl-C cancels the stream, and the jobs are submitted
+		// with CancelOnDisconnect so the disconnect cancels the remote
+		// simulations too instead of burning server cycles.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		client := &serve.Client{BaseURL: *server, Tenant: *tenant}
+		scaleName := "full"
+		if *quick {
+			scaleName = "quick"
+		}
+		for _, id := range ids {
+			req := serve.JobRequest{
+				Experiment:         id,
+				Scale:              scaleName,
+				Workers:            *workers,
+				Parallelism:        *parallel,
+				CancelOnDisconnect: true,
+			}
+			var onEvent func(serve.Event) error
+			if *progress {
+				onEvent = func(ev serve.Event) error {
+					switch ev.Type {
+					case "progress":
+						fmt.Fprintf(os.Stderr, "\r%-24s %3d/%3d  %11.0f simcyc/s  fence-stall %5.1f%%",
+							ev.Experiment, ev.Done, ev.Total, ev.SimCyclesPerSec, ev.FenceStallShare*100)
+						if ev.Done == ev.Total {
+							fmt.Fprintln(os.Stderr)
+						}
+					case "state":
+						fmt.Fprintf(os.Stderr, "%s: %s\n", ev.Job, ev.State)
+					}
+					return nil
+				}
+			}
+			data, err := client.Run(ctx, req, onEvent)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+		}
+		return
 	}
 	// The two parallelism axes compose: -parallel spreads independent
 	// simulations across a pool, -workers parallelizes inside each

@@ -1,6 +1,7 @@
 package results
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -9,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -21,13 +24,18 @@ import (
 // CacheStats counts cache traffic. Hits = MemHits + DiskHits; Misses is
 // the number of simulations actually executed. WriteErrors counts run
 // records that could not be persisted (the results were still returned
-// and kept in the memory tier).
+// and kept in the memory tier). Evictions counts disk records removed by
+// the LRU byte budget; DiskBytes and DiskEntries are the current disk
+// tier occupancy (levels, not counters).
 type CacheStats struct {
 	Hits        uint64 `json:"hits"`
 	MemHits     uint64 `json:"memHits"`
 	DiskHits    uint64 `json:"diskHits"`
 	Misses      uint64 `json:"misses"`
 	WriteErrors uint64 `json:"writeErrors"`
+	Evictions   uint64 `json:"evictions"`
+	DiskBytes   int64  `json:"diskBytes"`
+	DiskEntries int    `json:"diskEntries"`
 }
 
 // RunCache memoizes kernel simulations, content-addressed by a hash of
@@ -41,17 +49,33 @@ type CacheStats struct {
 // directory of JSON run records that persists results across invocations.
 // Concurrent requests for the same key are coalesced: one simulates, the
 // rest wait and count as memory hits.
+//
+// The disk tier can be bounded (NewRunCacheLimited): every record's byte
+// size is accounted, and storing past the budget evicts records in
+// least-recently-used order. Eviction never removes a record whose key
+// has an in-flight coalesced load — the filler may be mid-read — and an
+// evicted record simply re-misses: the simulator is deterministic, so the
+// re-simulated record is byte-identical to the evicted one.
 type RunCache struct {
-	dir string // "" = memory only
+	dir          string // "" = memory only
+	maxDiskBytes int64  // 0 = unbounded
 
 	mu       sync.Mutex
 	mem      map[string]kernels.Result
 	inflight map[string]*inflightRun
 
+	// Disk-tier accounting (dir != "" only): per-record byte sizes and
+	// recency order. lru front = most recently used.
+	diskSize  map[string]int64
+	lru       *list.List
+	lruElem   map[string]*list.Element
+	diskBytes int64
+
 	memHits   atomic.Uint64
 	diskHits  atomic.Uint64
 	misses    atomic.Uint64
 	writeErrs atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type inflightRun struct {
@@ -61,18 +85,42 @@ type inflightRun struct {
 }
 
 // NewRunCache returns a cache persisting run records under dir (created
-// if missing). An empty dir yields a memory-only cache.
+// if missing) with no byte budget. An empty dir yields a memory-only
+// cache.
 func NewRunCache(dir string) (*RunCache, error) {
+	return NewRunCacheLimited(dir, 0)
+}
+
+// NewRunCacheLimited returns a cache persisting run records under dir
+// (created if missing) whose disk tier is bounded to maxDiskBytes
+// (0 = unbounded). Records already in dir are adopted into the size
+// accounting in modification-time order (oldest = first eviction
+// candidate) and trimmed to the budget immediately; leftover temp files
+// from a crashed writer are removed.
+func NewRunCacheLimited(dir string, maxDiskBytes int64) (*RunCache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("results: cache dir: %w", err)
 		}
 	}
-	return &RunCache{
-		dir:      dir,
-		mem:      make(map[string]kernels.Result),
-		inflight: make(map[string]*inflightRun),
-	}, nil
+	c := &RunCache{
+		dir:          dir,
+		maxDiskBytes: maxDiskBytes,
+		mem:          make(map[string]kernels.Result),
+		inflight:     make(map[string]*inflightRun),
+		diskSize:     make(map[string]int64),
+		lru:          list.New(),
+		lruElem:      make(map[string]*list.Element),
+	}
+	if dir != "" {
+		if err := c.scanDisk(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.evictLocked()
+		c.mu.Unlock()
+	}
+	return c, nil
 }
 
 // NewMemCache returns an in-process-only cache.
@@ -81,17 +129,76 @@ func NewMemCache() *RunCache {
 	return c
 }
 
+// scanDisk seeds the size accounting and LRU order from records already
+// on disk, and removes temp-file debris a crashed writer left behind.
+// Corrupt or truncated records are counted too — they occupy bytes, and
+// loadDisk treats them as misses, so the next fill overwrites them.
+func (c *RunCache) scanDisk() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("results: cache scan: %w", err)
+	}
+	type rec struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var recs []rec
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if filepath.Ext(name) == ".tmp" {
+			// A writer crashed between CreateTemp and Rename; the partial
+			// file can never be addressed, so reclaim it.
+			os.Remove(filepath.Join(c.dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, "run_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(strings.TrimPrefix(name, "run_"), ".json")
+		if key == "" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].mtime < recs[j].mtime })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range recs {
+		c.diskSize[r.key] = r.size
+		c.diskBytes += r.size
+		c.lruElem[r.key] = c.lru.PushFront(r.key)
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *RunCache) Stats() CacheStats {
 	mem, disk := c.memHits.Load(), c.diskHits.Load()
+	c.mu.Lock()
+	bytes, entries := c.diskBytes, len(c.diskSize)
+	c.mu.Unlock()
 	return CacheStats{
 		Hits:        mem + disk,
 		MemHits:     mem,
 		DiskHits:    disk,
 		Misses:      c.misses.Load(),
 		WriteErrors: c.writeErrs.Load(),
+		Evictions:   c.evictions.Load(),
+		DiskBytes:   bytes,
+		DiskEntries: entries,
 	}
 }
+
+// MaxDiskBytes returns the disk tier's byte budget (0 = unbounded).
+func (c *RunCache) MaxDiskBytes() int64 { return c.maxDiskBytes }
 
 // cacheKeyPayload is what gets hashed into a cache key. The schema
 // version is included so format changes invalidate old disk records.
@@ -142,6 +249,22 @@ func (c *RunCache) path(key string) string {
 // their own contexts instead of inheriting the foreign cancellation
 // (essential when two independent Labs share one cache).
 func (c *RunCache) Run(ctx context.Context, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+	return c.run(ctx, nil, bench, opts, cfg)
+}
+
+// Runner returns an exp.Runner that memoizes sim through this cache: on a
+// miss the triple is simulated by sim instead of exp.DirectRun, with the
+// same coalescing, persistence, and eviction behavior as Run. This is how
+// a caller attaches instrumentation (e.g. a counter-only observer) to the
+// simulations a shared cache actually executes — coalesced waiters and
+// cache hits never invoke sim. A nil sim is exactly Run.
+func (c *RunCache) Runner(sim exp.Runner) exp.Runner {
+	return func(ctx context.Context, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+		return c.run(ctx, sim, bench, opts, cfg)
+	}
+}
+
+func (c *RunCache) run(ctx context.Context, sim exp.Runner, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	key := Key(bench, opts, cfg)
 
 	for {
@@ -172,13 +295,16 @@ func (c *RunCache) Run(ctx context.Context, bench string, opts kernels.Options, 
 		c.inflight[key] = f
 		c.mu.Unlock()
 
-		f.res, f.err = c.fill(ctx, key, bench, opts, cfg)
+		f.res, f.err = c.fill(ctx, sim, key, bench, opts, cfg)
 
 		c.mu.Lock()
 		if f.err == nil {
 			c.mem[key] = f.res
 		}
 		delete(c.inflight, key)
+		// The store above may have pushed the disk tier past its budget
+		// while this key was eviction-exempt (in flight); settle now.
+		c.evictLocked()
 		c.mu.Unlock()
 		close(f.done)
 		return f.res, f.err
@@ -187,7 +313,7 @@ func (c *RunCache) Run(ctx context.Context, bench string, opts kernels.Options, 
 
 // fill resolves a memory miss: disk first, then a real simulation (whose
 // result is written back to disk).
-func (c *RunCache) fill(ctx context.Context, key, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
+func (c *RunCache) fill(ctx context.Context, sim exp.Runner, key, bench string, opts kernels.Options, cfg machine.Config) (kernels.Result, error) {
 	if c.dir != "" {
 		if res, ok := c.loadDisk(key, bench); ok {
 			c.diskHits.Add(1)
@@ -195,7 +321,10 @@ func (c *RunCache) fill(ctx context.Context, key, bench string, opts kernels.Opt
 		}
 	}
 	c.misses.Add(1)
-	res, err := exp.DirectRun(ctx, bench, opts, cfg)
+	if sim == nil {
+		sim = exp.DirectRun
+	}
+	res, err := sim(ctx, bench, opts, cfg)
 	if err != nil {
 		return kernels.Result{}, err
 	}
@@ -211,8 +340,9 @@ func (c *RunCache) fill(ctx context.Context, key, bench string, opts kernels.Opt
 }
 
 // loadDisk reads and validates a run record; any mismatch, unreadable
-// file, or corruption is treated as a miss — the cache can always fall
-// back to simulating.
+// file, or corruption (including a crash-truncated write) is treated as
+// a miss — the cache can always fall back to simulating. A valid load
+// freshens the record's LRU position.
 func (c *RunCache) loadDisk(key, bench string) (kernels.Result, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
@@ -232,11 +362,18 @@ func (c *RunCache) loadDisk(key, bench string) (kernels.Result, bool) {
 		Key(rec.Bench, rec.Opts, rec.Cfg) != key {
 		return kernels.Result{}, false
 	}
+	c.mu.Lock()
+	c.touchLocked(key, int64(len(data)))
+	c.mu.Unlock()
 	return rec.Result, true
 }
 
-// storeDisk writes a run record atomically (temp file + rename) so a
-// concurrent reader never observes a partial record.
+// storeDisk writes a run record atomically (temp file + fsync + rename)
+// so neither a concurrent reader nor a crash mid-write can ever surface
+// a partial record under the key's path: an interrupted write leaves only
+// a .tmp file, which addresses nothing and is reclaimed on the next
+// cache construction. A successful store updates the size accounting and
+// evicts least-recently-used records past the byte budget.
 func (c *RunCache) storeDisk(key, bench string, opts kernels.Options, cfg machine.Config, res kernels.Result) error {
 	data, err := Marshal(runRecord{SchemaVersion, bench, opts, cfg, res})
 	if err != nil {
@@ -251,6 +388,11 @@ func (c *RunCache) storeDisk(key, bench string, opts kernels.Options, cfg machin
 		os.Remove(tmp.Name())
 		return fmt.Errorf("results: cache write: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: cache write: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("results: cache write: %w", err)
@@ -259,5 +401,49 @@ func (c *RunCache) storeDisk(key, bench string, opts kernels.Options, cfg machin
 		os.Remove(tmp.Name())
 		return fmt.Errorf("results: cache write: %w", err)
 	}
+	c.mu.Lock()
+	c.touchLocked(key, int64(len(data)))
+	c.evictLocked()
+	c.mu.Unlock()
 	return nil
+}
+
+// touchLocked records key's current byte size and moves it to the
+// most-recently-used end. Callers hold c.mu.
+func (c *RunCache) touchLocked(key string, size int64) {
+	if old, ok := c.diskSize[key]; ok {
+		c.diskBytes += size - old
+		c.diskSize[key] = size
+		c.lru.MoveToFront(c.lruElem[key])
+		return
+	}
+	c.diskSize[key] = size
+	c.diskBytes += size
+	c.lruElem[key] = c.lru.PushFront(key)
+}
+
+// evictLocked removes least-recently-used disk records until the tier
+// fits its byte budget. Records whose key has an in-flight coalesced
+// load are exempt — the filler may be mid-read of that very file — and
+// are retried on the next eviction pass (run() settles accounts when an
+// in-flight entry completes). Callers hold c.mu.
+func (c *RunCache) evictLocked() {
+	if c.maxDiskBytes <= 0 {
+		return
+	}
+	for e := c.lru.Back(); e != nil && c.diskBytes > c.maxDiskBytes; {
+		key := e.Value.(string)
+		prev := e.Prev()
+		if _, busy := c.inflight[key]; busy {
+			e = prev
+			continue
+		}
+		os.Remove(c.path(key))
+		c.diskBytes -= c.diskSize[key]
+		delete(c.diskSize, key)
+		c.lru.Remove(e)
+		delete(c.lruElem, key)
+		c.evictions.Add(1)
+		e = prev
+	}
 }

@@ -1,0 +1,367 @@
+package results
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sfence/internal/kernels"
+	"sfence/internal/machine"
+)
+
+// limitOpts returns distinct tiny dekker configurations: each Ops value
+// is a different content address.
+func limitOpts(ops int) kernels.Options {
+	return kernels.Options{Mode: kernels.Traditional, Threads: 2, Ops: ops, Workload: 1}
+}
+
+// diskUsage walks dir and returns the byte total and count of run
+// records, the ground truth the cache's accounting must match.
+func diskUsage(t *testing.T, dir string) (int64, int) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bytes int64
+	var n int
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "run_") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes += info.Size()
+		n++
+	}
+	return bytes, n
+}
+
+// fillN runs n distinct configurations through the cache and returns
+// their keys in insertion order.
+func fillN(t *testing.T, c *RunCache, n int) []string {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		opts := limitOpts(5 + i)
+		if _, err := c.Run(context.Background(), "dekker", opts, cfg); err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = Key("dekker", opts, cfg)
+	}
+	return keys
+}
+
+// TestCacheSizeAccountingExact checks the cache's byte and entry gauges
+// against a literal directory walk, after fills, after disk reloads, and
+// after evictions trim the tier.
+func TestCacheSizeAccountingExact(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillN(t, c, 4)
+
+	wantBytes, wantEntries := diskUsage(t, dir)
+	st := c.Stats()
+	if st.DiskBytes != wantBytes || st.DiskEntries != wantEntries {
+		t.Errorf("accounting %d bytes/%d entries, directory holds %d bytes/%d entries",
+			st.DiskBytes, st.DiskEntries, wantBytes, wantEntries)
+	}
+	if wantEntries != 4 {
+		t.Fatalf("expected 4 records on disk, found %d", wantEntries)
+	}
+
+	// A second instance adopting the directory must account identically.
+	c2, err := NewRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 := c2.Stats(); st2.DiskBytes != wantBytes || st2.DiskEntries != wantEntries {
+		t.Errorf("adopted accounting %d/%d, want %d/%d", st2.DiskBytes, st2.DiskEntries, wantBytes, wantEntries)
+	}
+}
+
+// TestCacheLRUEviction bounds the budget so any two of three records fit
+// but all three never do, and checks the least-recently-used record — not
+// the least-recently-stored — is the one evicted.
+func TestCacheLRUEviction(t *testing.T) {
+	// Measure real record sizes on an unbounded cache first.
+	refDir := t.TempDir()
+	ref, err := NewRunCache(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillN(t, ref, 3)
+	sizes := make(map[string]int64, 3)
+	var total int64
+	for _, k := range keys {
+		info, err := os.Stat(filepath.Join(refDir, "run_"+k+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[k] = info.Size()
+		total += info.Size()
+	}
+
+	// Any two records fit in total-1 bytes; all three exceed it.
+	dir := t.TempDir()
+	c, err := NewRunCacheLimited(dir, total-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	for _, ops := range []int{5, 6} { // records A, B
+		if _, err := c.Run(context.Background(), "dekker", limitOpts(ops), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freshen A in the disk LRU (a memory hit would not touch the disk
+	// tier, so reload the record the way a cold cache would).
+	if _, ok := c.loadDisk(keys[0], "dekker"); !ok {
+		t.Fatal("record A unreadable before eviction")
+	}
+	// Store C: now over budget, and B is the least recently used.
+	if _, err := c.Run(context.Background(), "dekker", limitOpts(7), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "run_"+keys[1]+".json")); !os.IsNotExist(err) {
+		t.Errorf("record B (least recently used) still on disk: %v", err)
+	}
+	for _, k := range []string{keys[0], keys[2]} {
+		if _, err := os.Stat(filepath.Join(dir, "run_"+k+".json")); err != nil {
+			t.Errorf("record %s should have survived eviction: %v", k[:12], err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.DiskBytes > total-1 {
+		t.Errorf("disk tier %d bytes over its %d budget", st.DiskBytes, total-1)
+	}
+	wantBytes, wantEntries := diskUsage(t, dir)
+	if st.DiskBytes != wantBytes || st.DiskEntries != wantEntries {
+		t.Errorf("post-eviction accounting %d/%d, directory holds %d/%d",
+			st.DiskBytes, st.DiskEntries, wantBytes, wantEntries)
+	}
+}
+
+// TestCacheEvictionSkipsInflight pins a key as in-flight and checks the
+// evictor refuses to remove its record even far over budget, then
+// reclaims it as soon as the in-flight entry resolves.
+func TestCacheEvictionSkipsInflight(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewRunCacheLimited(dir, 1) // nothing fits
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	opts := limitOpts(5)
+	key := Key("dekker", opts, cfg)
+
+	// Pin the key as a coalesced load in flight, then land its record on
+	// disk the way fill does.
+	c.mu.Lock()
+	c.inflight[key] = &inflightRun{done: make(chan struct{})}
+	c.mu.Unlock()
+	res, err := c.Runner(nil)(context.Background(), "dekker", limitOpts(6), cfg) // unrelated fill, evictable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.storeDisk(key, "dekker", opts, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(c.path(key)); err != nil {
+		t.Fatalf("in-flight record was evicted: %v", err)
+	}
+	st := c.Stats()
+	if st.DiskEntries != 1 {
+		t.Errorf("disk tier holds %d entries, want only the exempt one", st.DiskEntries)
+	}
+
+	// Resolve the in-flight entry; the next eviction pass reclaims it.
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.evictLocked()
+	c.mu.Unlock()
+	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+		t.Errorf("record still on disk after the in-flight exemption ended: %v", err)
+	}
+	if st := c.Stats(); st.DiskBytes != 0 || st.DiskEntries != 0 {
+		t.Errorf("disk tier not empty after final eviction: %+v", st)
+	}
+}
+
+// TestCacheEvictionReMissByteIdentical evicts a record, then re-misses it
+// from a fresh cache instance: the re-simulated record must be
+// byte-identical to the evicted one (the determinism contract that makes
+// eviction safe at all).
+func TestCacheEvictionReMissByteIdentical(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	optsA := limitOpts(5)
+	keyA := Key("dekker", optsA, cfg)
+
+	// Reference bytes for record A from an unbounded cache.
+	refDir := t.TempDir()
+	ref, err := NewRunCache(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(context.Background(), "dekker", optsA, cfg); err != nil {
+		t.Fatal(err)
+	}
+	wantRecord, err := os.ReadFile(filepath.Join(refDir, "run_"+keyA+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A budget that holds one record: storing B evicts A.
+	dir := t.TempDir()
+	c, err := NewRunCacheLimited(dir, int64(len(wantRecord))+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), "dekker", optsA, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, "run_"+keyA+".json")); err != nil {
+		t.Fatal(err)
+	} else if !bytes.Equal(got, wantRecord) {
+		t.Fatal("record A differs across caches before any eviction")
+	}
+	if _, err := c.Run(context.Background(), "dekker", limitOpts(6), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run_"+keyA+".json")); !os.IsNotExist(err) {
+		t.Fatalf("record A should have been evicted: %v", err)
+	}
+
+	// A fresh instance over the trimmed directory re-misses A: the memory
+	// tier is gone, the disk record is gone, so it must re-simulate — and
+	// land the exact same bytes.
+	c2, err := NewRunCacheLimited(dir, int64(len(wantRecord))+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Run(context.Background(), "dekker", optsA, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("re-miss stats = %+v, want exactly 1 miss and no disk hit", st)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "run_"+keyA+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantRecord) {
+		t.Error("re-simulated record is not byte-identical to the evicted one")
+	}
+}
+
+// TestCachePartialWriteIsMiss plants a crash-truncated record and writer
+// debris, and checks construction reclaims the debris while the truncated
+// record reads as a miss — not an error — and is overwritten whole.
+func TestCachePartialWriteIsMiss(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	opts := limitOpts(5)
+	key := Key("dekker", opts, cfg)
+
+	// Build a valid record first, to truncate realistically.
+	refDir := t.TempDir()
+	ref, err := NewRunCache(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(context.Background(), "dekker", opts, cfg); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(filepath.Join(refDir, "run_"+key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "run_"+key+".json"), whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run_deadbeef.tmp"), []byte("crash debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run_deadbeef.tmp")); !os.IsNotExist(err) {
+		t.Errorf("writer debris not reclaimed at construction: %v", err)
+	}
+	if _, err := c.Run(context.Background(), "dekker", opts, cfg); err != nil {
+		t.Fatalf("truncated record surfaced as an error instead of a miss: %v", err)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("stats = %+v, want the truncated record to count as a miss", st)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "run_"+key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, whole) {
+		t.Error("repaired record is not byte-identical to a clean write")
+	}
+}
+
+// TestCacheAdoptionEvictsOldestFirst pre-populates a directory, then
+// opens it with a budget that fits only some records: the construction
+// trim must drop the oldest-modified records first.
+func TestCacheAdoptionEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := NewRunCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillN(t, seed, 3)
+
+	// Make the mtime order unambiguous: keys[0] oldest, keys[2] newest.
+	now := time.Now()
+	for i, k := range keys {
+		ts := now.Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, "run_"+k+".json"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, k := range keys {
+		info, err := os.Stat(filepath.Join(dir, "run_"+k+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+
+	c, err := NewRunCacheLimited(dir, total-1) // any two fit, three never
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run_"+keys[0]+".json")); !os.IsNotExist(err) {
+		t.Errorf("oldest record survived the adoption trim: %v", err)
+	}
+	for _, k := range keys[1:] {
+		if _, err := os.Stat(filepath.Join(dir, "run_"+k+".json")); err != nil {
+			t.Errorf("newer record %s dropped by the adoption trim: %v", k[:12], err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.DiskEntries != 2 {
+		t.Errorf("adoption trim stats = %+v, want 1 eviction leaving 2 entries", st)
+	}
+}

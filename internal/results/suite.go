@@ -161,6 +161,11 @@ func RunSuite(ctx context.Context, opts SuiteOptions) (*Suite, error) {
 			DiskHits:    after.DiskHits - before.DiskHits,
 			Misses:      after.Misses - before.Misses,
 			WriteErrors: after.WriteErrors - before.WriteErrors,
+			Evictions:   after.Evictions - before.Evictions,
+			// Occupancy is a level, not a counter: report where the disk
+			// tier ended up, not a meaningless delta.
+			DiskBytes:   after.DiskBytes,
+			DiskEntries: after.DiskEntries,
 		}
 	}
 	return s, nil

@@ -358,6 +358,14 @@ const ResultsSchemaVersion = results.SchemaVersion
 // if missing); an empty dir yields a memory-only cache.
 func NewRunCache(dir string) (*RunCache, error) { return results.NewRunCache(dir) }
 
+// NewRunCacheLimited is NewRunCache with a byte budget on the disk tier:
+// storing past maxDiskBytes evicts records least-recently-used first
+// (0 = unbounded). Evicted records re-miss and re-simulate; the simulator
+// is deterministic, so the replacement record is byte-identical.
+func NewRunCacheLimited(dir string, maxDiskBytes int64) (*RunCache, error) {
+	return results.NewRunCacheLimited(dir, maxDiskBytes)
+}
+
 // NewMemCache returns an in-process-only run cache.
 func NewMemCache() *RunCache { return results.NewMemCache() }
 
